@@ -1,0 +1,149 @@
+//! Analytical cost models for prior work that cannot be reproduced as
+//! circuits from the citations alone, plus the qutrit Clifford+T cost model
+//! used for the fault-tolerance comparison (Section IV / [24]).
+//!
+//! These models only appear in the comparison tables (experiments E1 and
+//! E8); correctness baselines are the explicit circuits in
+//! [`crate::clean_ancilla`] and [`crate::exponential`].
+
+use qudit_core::{Circuit, Dimension, Gate, GateOp, SingleQuditOp};
+
+/// Gate-count model for the Di & Wei ancilla-free synthesis ([20] in the
+/// paper): `Θ(k³)` two-qudit gates.
+///
+/// The constant is normalised so that the model agrees with the paper's
+/// construction at `k = 2` (a single two-controlled gadget of `O(d)` gates).
+pub fn di_wei_cubic_count(dimension: Dimension, controls: usize) -> f64 {
+    let d = dimension.get() as f64;
+    let k = controls as f64;
+    // One two-controlled gadget costs ~5 singly-controlled gates (Fig. 5);
+    // the cubic construction applies Θ(k³) of them.
+    (5.0 * d / 3.0) * k.powi(3)
+}
+
+/// Clifford+T count model for the Yeh & van de Wetering qutrit construction
+/// ([24] in the paper): `Θ(k^{log₂ 12}) ≈ Θ(k^{3.585})`.
+pub fn yeh_wetering_clifford_t_count(controls: usize) -> f64 {
+    let k = controls as f64;
+    let exponent = 12f64.log2(); // ≈ 3.585
+    // Normalised so that k = 2 costs one controlled-X01 worth of Clifford+T.
+    CliffordTCostModel::default().controlled_x01 as f64 / 2f64.powf(exponent) * k.powf(exponent)
+}
+
+/// Clifford+T cost assigned to each qutrit G-gate, following the exact
+/// syntheses of [24] (every qutrit G-gate has a constant-size Clifford+T
+/// circuit).  The constants are model parameters: the asymptotic comparison
+/// (linear vs. `k^{3.585}`) does not depend on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliffordTCostModel {
+    /// Clifford+T count of an uncontrolled qutrit transposition `Xij`
+    /// (a Clifford gate — no T gates, a handful of Cliffords).
+    pub single_swap: u64,
+    /// Clifford+T count of the controlled `|0⟩-X01` qutrit gate.
+    pub controlled_x01: u64,
+}
+
+impl Default for CliffordTCostModel {
+    fn default() -> Self {
+        // A qutrit transposition is Clifford (cost 1 gate); the controlled
+        // X01 requires a constant number of Clifford+T gates in the exact
+        // synthesis of [24] — 39 is used as a representative constant.
+        CliffordTCostModel { single_swap: 1, controlled_x01: 39 }
+    }
+}
+
+impl CliffordTCostModel {
+    /// Clifford+T count of a G-gate circuit (qutrits only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a gate that is not a G-gate; lower the
+    /// circuit with `qudit_synthesis::lower::lower_to_g_gates` first.
+    pub fn circuit_cost(&self, circuit: &Circuit) -> u64 {
+        circuit.gates().iter().map(|g| self.gate_cost(g)).sum()
+    }
+
+    /// Clifford+T count of a single G-gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not a G-gate.
+    pub fn gate_cost(&self, gate: &Gate) -> u64 {
+        assert!(gate.is_g_gate(), "Clifford+T costs are defined for G-gates only");
+        match (gate.controls().len(), gate.op()) {
+            (0, GateOp::Single(SingleQuditOp::Swap(_, _))) => self.single_swap,
+            (1, _) => self.controlled_x01,
+            _ => unreachable!("G-gates have at most one control"),
+        }
+    }
+}
+
+/// Finds the smallest `k` at which a linear cost curve beats a super-linear
+/// model curve, scanning `k = 1 … max_k`.
+///
+/// Returns `None` when the linear curve never wins in the scanned range.
+pub fn crossover_point(
+    linear: impl Fn(usize) -> f64,
+    model: impl Fn(usize) -> f64,
+    max_k: usize,
+) -> Option<usize> {
+    (1..=max_k).find(|&k| linear(k) < model(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::{Control, QuditId};
+
+    #[test]
+    fn cubic_model_grows_cubically() {
+        let d = Dimension::new(3).unwrap();
+        let a = di_wei_cubic_count(d, 10);
+        let b = di_wei_cubic_count(d, 20);
+        let ratio = b / a;
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yeh_wetering_model_grows_super_cubically() {
+        let a = yeh_wetering_clifford_t_count(10);
+        let b = yeh_wetering_clifford_t_count(20);
+        let ratio = b / a;
+        assert!(ratio > 8.0 && ratio < 16.0, "ratio {ratio} should be ≈ 2^3.585 ≈ 12");
+    }
+
+    #[test]
+    fn clifford_t_cost_of_g_gates() {
+        let d = Dimension::new(3).unwrap();
+        let model = CliffordTCostModel::default();
+        let mut circuit = Circuit::new(d, 2);
+        circuit
+            .push(Gate::single(SingleQuditOp::Swap(0, 2), QuditId::new(0)))
+            .unwrap();
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Swap(0, 1),
+                QuditId::new(1),
+                vec![Control::zero(QuditId::new(0))],
+            ))
+            .unwrap();
+        assert_eq!(model.circuit_cost(&circuit), model.single_swap + model.controlled_x01);
+    }
+
+    #[test]
+    #[should_panic(expected = "G-gates only")]
+    fn non_g_gates_are_rejected_by_the_cost_model() {
+        let model = CliffordTCostModel::default();
+        let gate = Gate::single(SingleQuditOp::Add(1), QuditId::new(0));
+        let _ = model.gate_cost(&gate);
+    }
+
+    #[test]
+    fn crossover_is_found_for_growing_models() {
+        // Linear 100·k beats k³ starting at k = 11.
+        let crossover = crossover_point(|k| 100.0 * k as f64, |k| (k as f64).powi(3), 100);
+        assert_eq!(crossover, Some(11));
+        // A linear curve never beats a constant-zero model.
+        assert_eq!(crossover_point(|k| k as f64, |_| 0.0, 50), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! Prior-work baselines and cost models for multi-controlled qudit gate
+//! synthesis.
+//!
+//! The paper (Section I) compares its construction against three families of
+//! prior work; this crate provides the comparators used by the experiment
+//! harness:
+//!
+//! * [`CleanAncillaMct`] — the standard linear-size synthesis with
+//!   `Θ(k/(d−2))` **clean** ancillas (Bullock et al. / Khan & Perkowski),
+//!   implemented as an explicit circuit.
+//! * [`exponential`] — an ancilla-free synthesis with exponential gate count
+//!   (standing in for Moraga), implemented as an explicit circuit for small
+//!   `k` and as a closed-form count for large `k`.
+//! * [`cost_models`] — analytical gate-count models for Di & Wei (`Θ(k³)`)
+//!   and Yeh & van de Wetering (`Θ(k^{3.585})` Clifford+T), plus the qutrit
+//!   Clifford+T cost model used by experiment E8.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::{Dimension, SingleQuditOp};
+//! use qudit_baselines::{clean_ancilla_count, CleanAncillaMct};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = Dimension::new(3)?;
+//! let baseline = CleanAncillaMct::new(d, 10, SingleQuditOp::Swap(0, 1))?.synthesize()?;
+//! assert_eq!(baseline.resources().clean_ancillas(), clean_ancilla_count(d, 10));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clean_ancilla;
+pub mod cost_models;
+pub mod exponential;
+
+pub use clean_ancilla::{clean_ancilla_count, CleanAncillaLayout, CleanAncillaMct, CleanAncillaSynthesis};
+pub use cost_models::{
+    crossover_point, di_wei_cubic_count, yeh_wetering_clifford_t_count, CliffordTCostModel,
+};
+pub use exponential::{exponential_gate_count, exponential_mct, MAX_EXPLICIT_CONTROLS};

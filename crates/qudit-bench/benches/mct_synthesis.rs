@@ -1,0 +1,62 @@
+//! Criterion bench: synthesis time of the paper's k-Toffoli and the
+//! clean-ancilla baseline, plus lowering to G-gates (experiments E1/E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_baselines::CleanAncillaMct;
+use qudit_core::{Dimension, SingleQuditOp};
+use qudit_synthesis::KToffoli;
+
+fn bench_ours_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_toffoli_synthesis");
+    group.sample_size(10);
+    for &d in &[3u32, 4] {
+        for &k in &[4usize, 8, 16, 32] {
+            let dimension = Dimension::new(d).unwrap();
+            group.bench_with_input(BenchmarkId::new(format!("ours_d{d}"), k), &k, |b, &k| {
+                b.iter(|| {
+                    KToffoli::new(dimension, k)
+                        .unwrap()
+                        .synthesize()
+                        .unwrap()
+                        .resources()
+                        .g_gates
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_baseline_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_toffoli_baseline");
+    for &k in &[4usize, 8, 16, 32] {
+        let dimension = Dimension::new(3).unwrap();
+        group.bench_with_input(BenchmarkId::new("clean_ancilla_d3", k), &k, |b, &k| {
+            b.iter(|| {
+                CleanAncillaMct::new(dimension, k, SingleQuditOp::Swap(0, 1))
+                    .unwrap()
+                    .synthesize()
+                    .unwrap()
+                    .circuit()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g_gate_lowering");
+    group.sample_size(10);
+    let dimension = Dimension::new(3).unwrap();
+    for &k in &[4usize, 8, 16] {
+        let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
+        group.bench_with_input(BenchmarkId::new("lower_to_g_d3", k), &k, |b, _| {
+            b.iter(|| synthesis.g_gate_circuit().unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ours_synthesis, bench_baseline_synthesis, bench_lowering);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: compiling random reversible functions (experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_core::Dimension;
+use qudit_reversible::{ReversibleFunction, ReversibleSynthesizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reversible_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reversible_compile");
+    group.sample_size(10);
+    for &(d, n) in &[(3u32, 2usize), (3, 3), (4, 2), (5, 2)] {
+        let dimension = Dimension::new(d).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let function = ReversibleFunction::random(dimension, n, &mut rng);
+        let synthesizer = ReversibleSynthesizer::new(dimension).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("d{d}"), n),
+            &n,
+            |b, _| b.iter(|| synthesizer.synthesize(&function).unwrap().resources().g_gates),
+        );
+    }
+    group.finish();
+}
+
+fn bench_two_cycle_decomposition(c: &mut Criterion) {
+    let dimension = Dimension::new(3).unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let function = ReversibleFunction::random(dimension, 4, &mut rng);
+    c.bench_function("two_cycle_decomposition_d3_n4", |b| {
+        b.iter(|| function.two_cycles().len())
+    });
+}
+
+criterion_group!(benches, bench_reversible_compile, bench_two_cycle_decomposition);
+criterion_main!(benches);

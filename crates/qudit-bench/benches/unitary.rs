@@ -1,0 +1,38 @@
+//! Criterion bench: arbitrary unitary synthesis (experiment E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_core::Dimension;
+use qudit_sim::random::random_unitary;
+use qudit_unitary::{two_level_decompose, UnitarySynthesizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_two_level_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_level_decomposition");
+    let mut rng = StdRng::seed_from_u64(5);
+    for &size in &[3usize, 9, 27] {
+        let unitary = random_unitary(size, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| two_level_decompose(&unitary).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_unitary_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unitary_synthesis");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(9);
+    for &(d, n) in &[(3u32, 1usize), (3, 2), (4, 2)] {
+        let dimension = Dimension::new(d).unwrap();
+        let unitary = random_unitary(dimension.register_size(n), &mut rng);
+        let synthesizer = UnitarySynthesizer::new(dimension).unwrap();
+        group.bench_with_input(BenchmarkId::new(format!("d{d}"), n), &n, |b, &n| {
+            b.iter(|| synthesizer.synthesize(&unitary, n).unwrap().resources().two_qudit_gates)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_level_decomposition, bench_unitary_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Prints the macro- and G-gate counts of the paper's k-Toffoli for a sweep
+//! of dimensions and control counts (a minimal version of experiment E3).
+//!
+//! Run with `cargo run --release -p qudit-bench --example counts`.
+
+use qudit_core::Dimension;
+use qudit_synthesis::KToffoli;
+
+fn main() {
+    println!("{:>3} {:>4} {:>12} {:>12} {:>14}", "d", "k", "macro gates", "G-gates", "G-gates per k");
+    for d in [3u32, 4, 5] {
+        for k in [4usize, 8, 16, 32, 64] {
+            let synthesis = KToffoli::new(Dimension::new(d).unwrap(), k)
+                .unwrap()
+                .synthesize()
+                .unwrap();
+            let resources = synthesis.resources();
+            println!(
+                "{:>3} {:>4} {:>12} {:>12} {:>14.1}",
+                d,
+                k,
+                resources.macro_gates,
+                resources.g_gates,
+                resources.g_gates as f64 / k as f64
+            );
+        }
+    }
+}

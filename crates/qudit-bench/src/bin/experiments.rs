@@ -1,0 +1,57 @@
+//! Regenerates every table/figure-equivalent of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--exp <id>]
+//! ```
+//!
+//! * `--quick` — small parameter ranges (seconds instead of minutes);
+//! * `--exp <id>` — print a single experiment (`e1` … `e10`, `e3a`, `figs`,
+//!   `diagrams`); without the flag the full report is printed.
+
+use std::env;
+use std::process::ExitCode;
+
+use qudit_bench::experiments::{
+    e10_peephole, e1_comparison, e2_gadgets, e3_ablation, e3_linear_scaling, e4_ancillas,
+    e5_controlled_unitary, e6_unitary_synthesis, e7_reversible, e8_clifford_t, e9_lower_bound,
+    figure_diagrams, figure_verification, full_report, Scale,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let experiment = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    match experiment.as_deref() {
+        None => print!("{}", full_report(scale)),
+        Some("e1") => print!("{}", e1_comparison(scale)),
+        Some("e2") => print!("{}", e2_gadgets(scale)),
+        Some("e3") => print!("{}", e3_linear_scaling(scale)),
+        Some("e3a") => print!("{}", e3_ablation(scale)),
+        Some("e4") => print!("{}", e4_ancillas(scale)),
+        Some("e5") => print!("{}", e5_controlled_unitary(scale)),
+        Some("e6") => print!("{}", e6_unitary_synthesis(scale)),
+        Some("e7") => print!("{}", e7_reversible(scale)),
+        Some("e8") => print!("{}", e8_clifford_t(scale)),
+        Some("e9") => print!("{}", e9_lower_bound(scale)),
+        Some("e10") => print!("{}", e10_peephole(scale)),
+        Some("figs") => print!("{}", figure_verification()),
+        Some("diagrams") => print!("{}", figure_diagrams()),
+        Some(other) => {
+            eprintln!("unknown experiment id: {other}");
+            eprintln!("known ids: e1 e2 e3 e3a e4 e5 e6 e7 e8 e9 e10 figs diagrams");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

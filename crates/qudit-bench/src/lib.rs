@@ -1,0 +1,20 @@
+//! Benchmark and experiment harness for the *Optimal Synthesis of
+//! Multi-Controlled Qudit Gates* reproduction.
+//!
+//! * [`experiments`] — one function per experiment of the evaluation
+//!   (E1–E9 plus the figure-verification table); each returns a
+//!   markdown-renderable [`tables::Table`].
+//! * [`tables`] — small table-formatting helpers.
+//!
+//! The `experiments` binary prints the full report
+//! (`cargo run --release -p qudit-bench --bin experiments`), and the
+//! Criterion benches in `benches/` measure synthesis and simulation time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod tables;
+
+pub use experiments::Scale;
+pub use tables::Table;

@@ -1,0 +1,88 @@
+//! Small helpers for formatting experiment results as markdown tables.
+
+use std::fmt;
+
+/// A named table of results, rendered as GitHub-flavoured markdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (printed as a heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row should have `headers.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+/// Formats a floating point number with a sensible number of digits.
+pub fn fmt_f64(value: f64) -> String {
+    if value >= 1000.0 {
+        format!("{value:.0}")
+    } else if value >= 1.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut table = Table::new("demo", &["k", "gates"]);
+        table.push_row(vec!["2".into(), "10".into()]);
+        let text = table.to_markdown();
+        assert!(text.contains("### demo"));
+        assert!(text.contains("| k | gates |"));
+        assert!(text.contains("|---|---|"));
+        assert!(text.contains("| 2 | 10 |"));
+        assert_eq!(table.to_string(), text);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(3.14159), "3.1");
+        assert_eq!(fmt_f64(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,148 @@
+//! Ancilla bookkeeping.
+//!
+//! The paper distinguishes four kinds of ancilla qudits (Section II):
+//! burnable, clean, garbage and borrowed.  Synthesis routines report how many
+//! of each kind they consumed so that the resource comparisons of the
+//! evaluation can be regenerated.
+
+use std::fmt;
+use std::ops::Add;
+
+/// The contract an ancilla qudit must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AncillaKind {
+    /// Starts in `|0⟩`, may end in any state.
+    Burnable,
+    /// Starts in `|0⟩` and must be returned to `|0⟩`.
+    Clean,
+    /// May start in any state and may end in any state.
+    Garbage,
+    /// May start in any state and must be returned to that state.
+    Borrowed,
+}
+
+impl fmt::Display for AncillaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AncillaKind::Burnable => "burnable",
+            AncillaKind::Clean => "clean",
+            AncillaKind::Garbage => "garbage",
+            AncillaKind::Borrowed => "borrowed",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Counts of ancilla qudits used by a synthesis, by kind.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::AncillaUsage;
+/// let usage = AncillaUsage { borrowed: 1, ..AncillaUsage::default() };
+/// assert_eq!(usage.total(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AncillaUsage {
+    /// Number of burnable ancillas.
+    pub burnable: usize,
+    /// Number of clean ancillas.
+    pub clean: usize,
+    /// Number of garbage ancillas.
+    pub garbage: usize,
+    /// Number of borrowed ancillas.
+    pub borrowed: usize,
+}
+
+impl AncillaUsage {
+    /// No ancillas at all.
+    pub fn none() -> Self {
+        AncillaUsage::default()
+    }
+
+    /// A usage consisting of `count` ancillas of one kind.
+    pub fn of_kind(kind: AncillaKind, count: usize) -> Self {
+        let mut usage = AncillaUsage::default();
+        match kind {
+            AncillaKind::Burnable => usage.burnable = count,
+            AncillaKind::Clean => usage.clean = count,
+            AncillaKind::Garbage => usage.garbage = count,
+            AncillaKind::Borrowed => usage.borrowed = count,
+        }
+        usage
+    }
+
+    /// Total number of ancilla qudits.
+    pub fn total(&self) -> usize {
+        self.burnable + self.clean + self.garbage + self.borrowed
+    }
+
+    /// Returns `true` when no ancilla is used.
+    pub fn is_ancilla_free(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl Add for AncillaUsage {
+    type Output = AncillaUsage;
+
+    fn add(self, rhs: AncillaUsage) -> AncillaUsage {
+        AncillaUsage {
+            burnable: self.burnable + rhs.burnable,
+            clean: self.clean + rhs.clean,
+            garbage: self.garbage + rhs.garbage,
+            borrowed: self.borrowed + rhs.borrowed,
+        }
+    }
+}
+
+impl fmt::Display for AncillaUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clean={}, borrowed={}, garbage={}, burnable={}",
+            self.clean, self.borrowed, self.garbage, self.burnable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_flags() {
+        let usage = AncillaUsage { burnable: 1, clean: 2, garbage: 3, borrowed: 4 };
+        assert_eq!(usage.total(), 10);
+        assert!(!usage.is_ancilla_free());
+        assert!(AncillaUsage::none().is_ancilla_free());
+    }
+
+    #[test]
+    fn of_kind_sets_only_one_field() {
+        let usage = AncillaUsage::of_kind(AncillaKind::Clean, 3);
+        assert_eq!(usage.clean, 3);
+        assert_eq!(usage.total(), 3);
+        let usage = AncillaUsage::of_kind(AncillaKind::Borrowed, 1);
+        assert_eq!(usage.borrowed, 1);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = AncillaUsage::of_kind(AncillaKind::Clean, 1);
+        let b = AncillaUsage::of_kind(AncillaKind::Borrowed, 2);
+        let sum = a + b;
+        assert_eq!(sum.clean, 1);
+        assert_eq!(sum.borrowed, 2);
+        assert_eq!(sum.total(), 3);
+    }
+
+    #[test]
+    fn display_mentions_every_kind() {
+        let text = AncillaUsage::default().to_string();
+        for word in ["clean", "borrowed", "garbage", "burnable"] {
+            assert!(text.contains(word));
+        }
+        assert_eq!(AncillaKind::Borrowed.to_string(), "borrowed");
+    }
+}

@@ -1,0 +1,347 @@
+//! Qudit circuits: ordered lists of gates over a register of fixed width.
+
+use std::fmt;
+
+use crate::dimension::Dimension;
+use crate::error::{QuditError, Result};
+use crate::gate::Gate;
+use crate::qudit::QuditId;
+
+/// A quantum circuit over `width` qudits of dimension `d`.
+///
+/// Gates are stored in time order: the first gate in the list is applied
+/// first.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 2);
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+/// assert_eq!(circuit.len(), 1);
+/// assert_eq!(circuit.apply_to_basis(&[0, 0])?, vec![0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    dimension: Dimension,
+    width: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given qudit dimension and width.
+    pub fn new(dimension: Dimension, width: usize) -> Self {
+        Circuit { dimension, width, gates: Vec::new() }
+    }
+
+    /// The qudit dimension `d`.
+    pub fn dimension(&self) -> Dimension {
+        self.dimension
+    }
+
+    /// The number of qudits (wires).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The gates in time order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` when the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Iterates over the gates in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a gate after validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the gate is invalid for this circuit (see
+    /// [`Gate::validate`]).
+    pub fn push(&mut self, gate: Gate) -> Result<()> {
+        gate.validate(self.dimension, self.width)?;
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends all gates of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuits have different dimensions or
+    /// `other` is wider than `self`.
+    pub fn append(&mut self, other: &Circuit) -> Result<()> {
+        if other.dimension != self.dimension {
+            return Err(QuditError::IncompatibleCircuits {
+                reason: format!(
+                    "dimensions differ ({} vs {})",
+                    self.dimension, other.dimension
+                ),
+            });
+        }
+        if other.width > self.width {
+            return Err(QuditError::IncompatibleCircuits {
+                reason: format!("width {} exceeds target width {}", other.width, self.width),
+            });
+        }
+        for gate in &other.gates {
+            // Gates were already validated for `other`; widths are compatible.
+            self.gates.push(gate.clone());
+        }
+        Ok(())
+    }
+
+    /// Appends gates from an iterator, validating each one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error encountered.
+    pub fn extend_gates<I: IntoIterator<Item = Gate>>(&mut self, gates: I) -> Result<()> {
+        for gate in gates {
+            self.push(gate)?;
+        }
+        Ok(())
+    }
+
+    /// Returns the inverse circuit (each gate inverted, in reverse order).
+    pub fn inverse(&self) -> Circuit {
+        let gates = self
+            .gates
+            .iter()
+            .rev()
+            .map(|g| g.inverse(self.dimension))
+            .collect();
+        Circuit { dimension: self.dimension, width: self.width, gates }
+    }
+
+    /// Returns a copy of the circuit embedded in a wider register.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `width` is smaller than the current width.
+    pub fn widened(&self, width: usize) -> Result<Circuit> {
+        if width < self.width {
+            return Err(QuditError::IncompatibleCircuits {
+                reason: format!("cannot shrink width from {} to {}", self.width, width),
+            });
+        }
+        Ok(Circuit { dimension: self.dimension, width, gates: self.gates.clone() })
+    }
+
+    /// Applies a classical circuit to a computational basis state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuditError::NotClassical`] when the circuit contains a
+    /// non-permutation gate, and [`QuditError::QuditOutOfRange`] when the
+    /// input has the wrong length.
+    pub fn apply_to_basis(&self, digits: &[u32]) -> Result<Vec<u32>> {
+        if digits.len() != self.width {
+            return Err(QuditError::QuditOutOfRange { qudit: digits.len(), width: self.width });
+        }
+        for (i, &v) in digits.iter().enumerate() {
+            if v >= self.dimension.get() {
+                return Err(QuditError::LevelOutOfRange { level: v, dimension: self.dimension.get() });
+            }
+            let _ = i;
+        }
+        let mut state = digits.to_vec();
+        for gate in &self.gates {
+            gate.apply_to_basis(&mut state, self.dimension)?;
+        }
+        Ok(state)
+    }
+
+    /// Returns `true` when every gate permutes the computational basis.
+    pub fn is_classical(&self) -> bool {
+        self.gates.iter().all(Gate::is_classical)
+    }
+
+    /// Counts gates by the number of qudits they touch.
+    ///
+    /// The result maps arity (1, 2, 3, …) to the number of gates with that
+    /// arity; useful for reporting "two-qudit gate" counts.
+    pub fn arity_histogram(&self) -> Vec<(usize, usize)> {
+        let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for gate in &self.gates {
+            *counts.entry(gate.arity()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Number of gates acting on exactly two qudits.
+    pub fn two_qudit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.arity() == 2).count()
+    }
+
+    /// Number of gates that are elementary G-gates.
+    pub fn g_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_g_gate()).count()
+    }
+
+    /// The largest number of controls on any gate (0 for an empty circuit).
+    pub fn max_controls(&self) -> usize {
+        self.gates.iter().map(|g| g.controls().len()).max().unwrap_or(0)
+    }
+
+    /// Returns the qudits that are touched by at least one gate.
+    pub fn used_qudits(&self) -> Vec<QuditId> {
+        let mut used = vec![false; self.width];
+        for gate in &self.gates {
+            for q in gate.qudits() {
+                used[q.index()] = true;
+            }
+        }
+        used.iter()
+            .enumerate()
+            .filter_map(|(i, &u)| if u { Some(QuditId::new(i)) } else { None })
+            .collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: d={}, width={}, gates={}",
+            self.dimension, self.width, self.gates.len()
+        )?;
+        for (i, gate) in self.gates.iter().enumerate() {
+            writeln!(f, "  {i:4}: {gate}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+    use crate::ops::SingleQuditOp;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn toffoli_like(d: Dimension) -> Circuit {
+        let mut c = Circuit::new(d, 3);
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(2),
+            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn push_validates_gates() {
+        let mut c = Circuit::new(dim(3), 2);
+        let bad = Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(5));
+        assert!(c.push(bad).is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn append_checks_compatibility() {
+        let mut a = Circuit::new(dim(3), 3);
+        let b = Circuit::new(dim(4), 3);
+        assert!(a.append(&b).is_err());
+        let narrow = Circuit::new(dim(3), 2);
+        assert!(a.append(&narrow).is_ok());
+        let wide = Circuit::new(dim(3), 4);
+        assert!(a.append(&wide).is_err());
+    }
+
+    #[test]
+    fn inverse_undoes_classical_circuit() {
+        let d = dim(5);
+        let mut c = Circuit::new(d, 2);
+        c.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0))).unwrap();
+        c.push(Gate::controlled(
+            SingleQuditOp::Add(3),
+            QuditId::new(1),
+            vec![Control::odd(QuditId::new(0))],
+        ))
+        .unwrap();
+        let inv = c.inverse();
+        for a in 0..5 {
+            for b in 0..5 {
+                let forward = c.apply_to_basis(&[a, b]).unwrap();
+                let back = inv.apply_to_basis(&forward).unwrap();
+                assert_eq!(back, vec![a, b]);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_to_basis_validates_input() {
+        let c = toffoli_like(dim(3));
+        assert!(c.apply_to_basis(&[0, 0]).is_err());
+        assert!(c.apply_to_basis(&[0, 0, 7]).is_err());
+        assert_eq!(c.apply_to_basis(&[0, 0, 0]).unwrap(), vec![0, 0, 1]);
+        assert_eq!(c.apply_to_basis(&[1, 0, 0]).unwrap(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let d = dim(4);
+        let mut c = Circuit::new(d, 4);
+        c.push(Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(0))).unwrap();
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        ))
+        .unwrap();
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 2),
+            QuditId::new(2),
+            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+        ))
+        .unwrap();
+        assert_eq!(c.two_qudit_gate_count(), 1);
+        assert_eq!(c.g_gate_count(), 2);
+        assert_eq!(c.max_controls(), 2);
+        assert_eq!(c.arity_histogram(), vec![(1, 1), (2, 1), (3, 1)]);
+        assert_eq!(c.used_qudits().len(), 3);
+    }
+
+    #[test]
+    fn widening_preserves_gates() {
+        let c = toffoli_like(dim(3));
+        let wide = c.widened(5).unwrap();
+        assert_eq!(wide.width(), 5);
+        assert_eq!(wide.len(), c.len());
+        assert!(c.widened(2).is_err());
+    }
+}

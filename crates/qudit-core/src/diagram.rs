@@ -1,0 +1,165 @@
+//! ASCII circuit diagrams.
+//!
+//! The renderer draws one row per qudit and one column per gate, using the
+//! same labels as the paper's figures: control predicates are printed as
+//! `0`, `o`, `e` or `≠0`, the `X±⋆` source as `⋆`, and the target as the
+//! operation name.  It is used by the experiment harness to regenerate
+//! figure-style listings of the constructions.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateOp};
+
+/// Renders a circuit as an ASCII diagram, one row per qudit.
+///
+/// Wire labels default to `q0`, `q1`, …; use [`render_with_labels`] to supply
+/// custom names (for example `x1`, `t`, `a` as in the paper's figures).
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+/// # use qudit_core::diagram::render;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 2);
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+/// let text = render(&circuit);
+/// assert!(text.contains("q0"));
+/// assert!(text.contains("X01"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(circuit: &Circuit) -> String {
+    let labels: Vec<String> = (0..circuit.width()).map(|i| format!("q{i}")).collect();
+    render_with_labels(circuit, &labels)
+}
+
+/// Renders a circuit with custom wire labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != circuit.width()`.
+pub fn render_with_labels(circuit: &Circuit, labels: &[String]) -> String {
+    assert_eq!(labels.len(), circuit.width(), "one label per qudit is required");
+    let width = circuit.width();
+    let label_width = labels.iter().map(String::len).max().unwrap_or(0);
+
+    // Build the cell text of every (qudit, gate) pair.
+    let mut columns: Vec<Vec<String>> = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        let mut column = vec![String::new(); width];
+        for control in gate.controls() {
+            column[control.qudit.index()] = control_symbol(control.predicate);
+        }
+        if let GateOp::AddFrom { source, .. } = gate.op() {
+            column[source.index()] = "⋆".to_string();
+        }
+        column[gate.target().index()] = target_symbol(gate);
+        columns.push(column);
+    }
+    let column_widths: Vec<usize> = columns
+        .iter()
+        .map(|col| col.iter().map(|c| c.chars().count()).max().unwrap_or(1).max(1))
+        .collect();
+
+    let mut out = String::new();
+    for (qudit, label) in labels.iter().enumerate() {
+        out.push_str(&format!("{label:>label_width$} "));
+        for (column, &cell_width) in columns.iter().zip(column_widths.iter()) {
+            let cell = &column[qudit];
+            let pad = cell_width - cell.chars().count();
+            out.push_str("──");
+            if cell.is_empty() {
+                out.push_str(&"─".repeat(cell_width));
+            } else {
+                out.push_str(cell);
+                out.push_str(&"─".repeat(pad));
+            }
+        }
+        out.push_str("──\n");
+    }
+    out
+}
+
+fn control_symbol(predicate: crate::control::ControlPredicate) -> String {
+    use crate::control::ControlPredicate;
+    match predicate {
+        ControlPredicate::Level(l) => l.to_string(),
+        ControlPredicate::Odd => "o".to_string(),
+        ControlPredicate::EvenNonzero => "e".to_string(),
+        ControlPredicate::NonZero => "≠0".to_string(),
+    }
+}
+
+fn target_symbol(gate: &Gate) -> String {
+    match gate.op() {
+        GateOp::Single(op) => op.to_string(),
+        GateOp::AddFrom { negate, .. } => {
+            if *negate {
+                "X-⋆".to_string()
+            } else {
+                "X+⋆".to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+    use crate::dimension::Dimension;
+    use crate::ops::SingleQuditOp;
+    use crate::qudit::QuditId;
+
+    fn sample_circuit() -> Circuit {
+        let d = Dimension::new(3).unwrap();
+        let mut c = Circuit::new(d, 3);
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(2),
+            vec![Control::zero(QuditId::new(0)), Control::odd(QuditId::new(1))],
+        ))
+        .unwrap();
+        c.push(Gate::add_from(QuditId::new(0), true, QuditId::new(1), vec![])).unwrap();
+        c
+    }
+
+    #[test]
+    fn renders_one_line_per_qudit() {
+        let text = render(&sample_circuit());
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("X01"));
+        assert!(text.contains('o'));
+        assert!(text.contains('⋆'));
+        assert!(text.contains("X-⋆"));
+    }
+
+    #[test]
+    fn custom_labels_are_used() {
+        let labels = vec!["x1".to_string(), "x2".to_string(), "t".to_string()];
+        let text = render_with_labels(&sample_circuit(), &labels);
+        assert!(text.starts_with("x1"));
+        assert!(text.contains("\nx2"));
+        assert!(text.contains("\n t") || text.contains("\nt"));
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let d = Dimension::new(3).unwrap();
+        let circuit = Circuit::new(d, 2);
+        let text = render(&circuit);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("──"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per qudit")]
+    fn label_count_is_checked() {
+        let _ = render_with_labels(&sample_circuit(), &["x".to_string()]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Error types shared by the core circuit substrate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while building or transforming qudit circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuditError {
+    /// The requested qudit dimension is not supported (must be at least 2).
+    InvalidDimension {
+        /// The rejected dimension value.
+        dimension: u32,
+    },
+    /// A level index was used that is not smaller than the qudit dimension.
+    LevelOutOfRange {
+        /// The rejected level.
+        level: u32,
+        /// The dimension the level was checked against.
+        dimension: u32,
+    },
+    /// A qudit index does not exist in the circuit it was used with.
+    QuditOutOfRange {
+        /// The rejected qudit index.
+        qudit: usize,
+        /// The number of qudits in the circuit.
+        width: usize,
+    },
+    /// A gate refers to the same qudit more than once (for example a control
+    /// that is also the target).
+    DuplicateQudit {
+        /// The duplicated qudit index.
+        qudit: usize,
+    },
+    /// An operation requiring an even dimension was used with an odd one, or
+    /// vice versa.
+    ParityMismatch {
+        /// The dimension that did not have the required parity.
+        dimension: u32,
+        /// `true` if an even dimension was required.
+        requires_even: bool,
+    },
+    /// A transposition `Xij` was constructed with `i == j`.
+    DegenerateTransposition {
+        /// The repeated level.
+        level: u32,
+    },
+    /// A permutation table is not a bijection on `[d]`.
+    NotAPermutation,
+    /// A matrix is not unitary within the numerical tolerance.
+    NotUnitary,
+    /// A matrix has the wrong shape for the dimension it is used with.
+    MatrixShapeMismatch {
+        /// Number of rows/columns found.
+        found: usize,
+        /// Number of rows/columns expected.
+        expected: usize,
+    },
+    /// A lowering pass encountered a gate it cannot handle (for example a
+    /// gate with two or more controls, which requires the synthesis crate).
+    UnsupportedLowering {
+        /// Human readable description of the unsupported gate.
+        reason: String,
+    },
+    /// A non-classical (unitary) operation was used where a classical
+    /// permutation operation is required.
+    NotClassical,
+    /// A construction required more borrowed/clean ancilla qudits than were
+    /// provided.
+    InsufficientAncillas {
+        /// Number of ancillas required.
+        required: usize,
+        /// Number of ancillas available.
+        available: usize,
+    },
+    /// Two circuits with incompatible dimension or width were combined.
+    IncompatibleCircuits {
+        /// Description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuditError::InvalidDimension { dimension } => {
+                write!(f, "invalid qudit dimension {dimension}; dimensions must be at least 2")
+            }
+            QuditError::LevelOutOfRange { level, dimension } => {
+                write!(f, "level {level} is out of range for dimension {dimension}")
+            }
+            QuditError::QuditOutOfRange { qudit, width } => {
+                write!(f, "qudit index {qudit} is out of range for a circuit of width {width}")
+            }
+            QuditError::DuplicateQudit { qudit } => {
+                write!(f, "qudit {qudit} appears more than once in a single gate")
+            }
+            QuditError::ParityMismatch { dimension, requires_even } => {
+                if *requires_even {
+                    write!(f, "operation requires an even dimension but d = {dimension}")
+                } else {
+                    write!(f, "operation requires an odd dimension but d = {dimension}")
+                }
+            }
+            QuditError::DegenerateTransposition { level } => {
+                write!(f, "transposition with identical levels {level} and {level}")
+            }
+            QuditError::NotAPermutation => write!(f, "table is not a permutation of the levels"),
+            QuditError::NotUnitary => write!(f, "matrix is not unitary within tolerance"),
+            QuditError::MatrixShapeMismatch { found, expected } => {
+                write!(f, "matrix has size {found} but size {expected} was expected")
+            }
+            QuditError::UnsupportedLowering { reason } => {
+                write!(f, "cannot lower gate to G-gates: {reason}")
+            }
+            QuditError::NotClassical => {
+                write!(f, "operation is not a classical permutation of the computational basis")
+            }
+            QuditError::InsufficientAncillas { required, available } => {
+                write!(f, "construction needs {required} ancilla qudits but only {available} are available")
+            }
+            QuditError::IncompatibleCircuits { reason } => {
+                write!(f, "circuits cannot be combined: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for QuditError {}
+
+/// Convenience result alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, QuditError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = vec![
+            QuditError::InvalidDimension { dimension: 1 },
+            QuditError::LevelOutOfRange { level: 5, dimension: 3 },
+            QuditError::QuditOutOfRange { qudit: 7, width: 3 },
+            QuditError::DuplicateQudit { qudit: 2 },
+            QuditError::ParityMismatch { dimension: 3, requires_even: true },
+            QuditError::ParityMismatch { dimension: 4, requires_even: false },
+            QuditError::DegenerateTransposition { level: 1 },
+            QuditError::NotAPermutation,
+            QuditError::NotUnitary,
+            QuditError::MatrixShapeMismatch { found: 2, expected: 3 },
+            QuditError::UnsupportedLowering { reason: "two controls".into() },
+            QuditError::NotClassical,
+            QuditError::InsufficientAncillas { required: 3, available: 1 },
+            QuditError::IncompatibleCircuits { reason: "widths differ".into() },
+        ];
+        for error in errors {
+            let message = error.to_string();
+            assert!(!message.is_empty());
+            assert!(message.chars().next().unwrap().is_lowercase());
+            assert!(!message.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuditError>();
+    }
+}

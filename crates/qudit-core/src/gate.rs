@@ -1,0 +1,367 @@
+//! Gates: a target operation plus a (possibly empty) list of controls.
+
+use std::fmt;
+
+use crate::control::{Control, ControlPredicate};
+use crate::dimension::Dimension;
+use crate::error::{QuditError, Result};
+use crate::ops::SingleQuditOp;
+use crate::qudit::QuditId;
+
+/// The operation a gate applies to its target qudit when all controls fire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOp {
+    /// A fixed single-qudit operation.
+    Single(SingleQuditOp),
+    /// The value-controlled shift `X±⋆` of the paper (Fig. 6): the target is
+    /// shifted by the *value* of the `source` qudit, i.e.
+    /// `|y⟩_source |t⟩ ↦ |y⟩_source |t ± y mod d⟩` (subject to the gate's
+    /// ordinary controls).
+    AddFrom {
+        /// The qudit whose value is added to (or subtracted from) the target.
+        source: QuditId,
+        /// When `true` the value is subtracted (`X−⋆`), otherwise added (`X+⋆`).
+        negate: bool,
+    },
+}
+
+impl GateOp {
+    /// Returns `true` when the operation permutes the computational basis.
+    pub fn is_classical(&self) -> bool {
+        match self {
+            GateOp::Single(op) => op.is_classical(),
+            GateOp::AddFrom { .. } => true,
+        }
+    }
+}
+
+impl fmt::Display for GateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateOp::Single(op) => write!(f, "{op}"),
+            GateOp::AddFrom { source, negate } => {
+                if *negate {
+                    write!(f, "X-⋆({source})")
+                } else {
+                    write!(f, "X+⋆({source})")
+                }
+            }
+        }
+    }
+}
+
+/// A gate: an operation applied to a target qudit when every control fires.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::{Control, Gate, QuditId, SingleQuditOp};
+/// // The elementary |0⟩-X01 gate with control q0 and target q1.
+/// let gate = Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// );
+/// assert_eq!(gate.controls().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    op: GateOp,
+    target: QuditId,
+    controls: Vec<Control>,
+}
+
+impl Gate {
+    /// Creates an uncontrolled single-qudit gate.
+    pub fn single(op: SingleQuditOp, target: QuditId) -> Self {
+        Gate { op: GateOp::Single(op), target, controls: Vec::new() }
+    }
+
+    /// Creates a controlled single-qudit gate.
+    pub fn controlled(op: SingleQuditOp, target: QuditId, controls: Vec<Control>) -> Self {
+        Gate { op: GateOp::Single(op), target, controls }
+    }
+
+    /// Creates a gate from an arbitrary [`GateOp`].
+    pub fn new(op: GateOp, target: QuditId, controls: Vec<Control>) -> Self {
+        Gate { op, target, controls }
+    }
+
+    /// Creates the value-controlled shift `|⋆⟩-X±⋆` (optionally with further
+    /// controls).
+    pub fn add_from(source: QuditId, negate: bool, target: QuditId, controls: Vec<Control>) -> Self {
+        Gate { op: GateOp::AddFrom { source, negate }, target, controls }
+    }
+
+    /// The operation applied to the target.
+    pub fn op(&self) -> &GateOp {
+        &self.op
+    }
+
+    /// The target qudit.
+    pub fn target(&self) -> QuditId {
+        self.target
+    }
+
+    /// The controls of the gate.
+    pub fn controls(&self) -> &[Control] {
+        &self.controls
+    }
+
+    /// All qudits the gate touches (controls, the `AddFrom` source, and the
+    /// target), in that order.
+    pub fn qudits(&self) -> Vec<QuditId> {
+        let mut out: Vec<QuditId> = self.controls.iter().map(|c| c.qudit).collect();
+        if let GateOp::AddFrom { source, .. } = &self.op {
+            out.push(*source);
+        }
+        out.push(self.target);
+        out
+    }
+
+    /// Number of qudits the gate touches.
+    pub fn arity(&self) -> usize {
+        self.qudits().len()
+    }
+
+    /// Returns `true` when the gate permutes the computational basis.
+    pub fn is_classical(&self) -> bool {
+        self.op.is_classical()
+    }
+
+    /// Returns `true` when the gate is one of the elementary G-gates of the
+    /// paper: an uncontrolled `Xij`, or `|0⟩-X01`.
+    pub fn is_g_gate(&self) -> bool {
+        match (&self.op, self.controls.len()) {
+            (GateOp::Single(SingleQuditOp::Swap(_, _)), 0) => true,
+            (GateOp::Single(SingleQuditOp::Swap(i, j)), 1) => {
+                let ordered = (*i == 0 && *j == 1) || (*i == 1 && *j == 0);
+                ordered && self.controls[0].predicate == ControlPredicate::Level(0)
+            }
+            _ => false,
+        }
+    }
+
+    /// Validates the gate against a circuit of the given dimension and width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when qudit indices are out of range or duplicated,
+    /// control levels do not exist, or the operation itself is invalid for
+    /// the dimension.
+    pub fn validate(&self, dimension: Dimension, width: usize) -> Result<()> {
+        let qudits = self.qudits();
+        for q in &qudits {
+            if q.index() >= width {
+                return Err(QuditError::QuditOutOfRange { qudit: q.index(), width });
+            }
+        }
+        for (i, a) in qudits.iter().enumerate() {
+            for b in qudits.iter().skip(i + 1) {
+                if a == b {
+                    return Err(QuditError::DuplicateQudit { qudit: a.index() });
+                }
+            }
+        }
+        for c in &self.controls {
+            c.predicate.validate(dimension)?;
+        }
+        match &self.op {
+            GateOp::Single(op) => op.validate(dimension),
+            GateOp::AddFrom { .. } => Ok(()),
+        }
+    }
+
+    /// Returns the inverse gate.
+    pub fn inverse(&self, dimension: Dimension) -> Gate {
+        let op = match &self.op {
+            GateOp::Single(op) => GateOp::Single(op.inverse(dimension)),
+            GateOp::AddFrom { source, negate } => GateOp::AddFrom { source: *source, negate: !negate },
+        };
+        Gate { op, target: self.target, controls: self.controls.clone() }
+    }
+
+    /// Returns `true` when all controls fire for the given basis state.
+    ///
+    /// `digits[q]` is the level of qudit `q`.
+    pub fn fires(&self, digits: &[u32]) -> bool {
+        self.controls
+            .iter()
+            .all(|c| c.predicate.matches(digits[c.qudit.index()]))
+    }
+
+    /// Applies a classical gate to a computational basis state in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuditError::NotClassical`] for non-permutation unitaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits` is shorter than the largest qudit index used by the
+    /// gate.
+    pub fn apply_to_basis(&self, digits: &mut [u32], dimension: Dimension) -> Result<()> {
+        if !self.fires(digits) {
+            return Ok(());
+        }
+        let t = self.target.index();
+        match &self.op {
+            GateOp::Single(op) => {
+                digits[t] = op.apply_level(digits[t], dimension)?;
+                Ok(())
+            }
+            GateOp::AddFrom { source, negate } => {
+                let d = dimension.get();
+                let y = digits[source.index()] % d;
+                let shift = if *negate { (d - y) % d } else { y };
+                digits[t] = (digits[t] + shift) % d;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.controls.is_empty() {
+            write!(f, "{} -> {}", self.op, self.target)
+        } else {
+            let controls: Vec<String> = self.controls.iter().map(|c| c.to_string()).collect();
+            write!(f, "[{}] {} -> {}", controls.join(", "), self.op, self.target)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn g_gate_recognition() {
+        let x01 = Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(0));
+        assert!(x01.is_g_gate());
+        let x12 = Gate::single(SingleQuditOp::Swap(1, 2), QuditId::new(0));
+        assert!(x12.is_g_gate());
+        let c_x01 = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        assert!(c_x01.is_g_gate());
+        let c1_x01 = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::level(QuditId::new(0), 1)],
+        );
+        assert!(!c1_x01.is_g_gate());
+        let c_x02 = Gate::controlled(
+            SingleQuditOp::Swap(0, 2),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        assert!(!c_x02.is_g_gate());
+        let cc = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(2),
+            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+        );
+        assert!(!cc.is_g_gate());
+    }
+
+    #[test]
+    fn validation_catches_bad_gates() {
+        let d = dim(3);
+        let out_of_range = Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(5));
+        assert!(out_of_range.validate(d, 3).is_err());
+        let duplicate = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(0),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        assert!(matches!(duplicate.validate(d, 3), Err(QuditError::DuplicateQudit { .. })));
+        let bad_level = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::level(QuditId::new(0), 7)],
+        );
+        assert!(bad_level.validate(d, 3).is_err());
+        let good = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        assert!(good.validate(d, 3).is_ok());
+    }
+
+    #[test]
+    fn classical_application_respects_controls() {
+        let d = dim(3);
+        let gate = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        let mut fired = vec![0, 0];
+        gate.apply_to_basis(&mut fired, d).unwrap();
+        assert_eq!(fired, vec![0, 1]);
+        let mut silent = vec![2, 0];
+        gate.apply_to_basis(&mut silent, d).unwrap();
+        assert_eq!(silent, vec![2, 0]);
+    }
+
+    #[test]
+    fn add_from_semantics() {
+        let d = dim(5);
+        let gate = Gate::add_from(QuditId::new(0), false, QuditId::new(1), vec![]);
+        let mut state = vec![3, 4];
+        gate.apply_to_basis(&mut state, d).unwrap();
+        assert_eq!(state, vec![3, 2]); // 4 + 3 mod 5
+        let inverse = gate.inverse(d);
+        inverse.apply_to_basis(&mut state, d).unwrap();
+        assert_eq!(state, vec![3, 4]);
+    }
+
+    #[test]
+    fn inverse_of_controlled_add() {
+        let d = dim(4);
+        let gate = Gate::controlled(
+            SingleQuditOp::Add(1),
+            QuditId::new(1),
+            vec![Control::odd(QuditId::new(0))],
+        );
+        let inv = gate.inverse(d);
+        let mut state = vec![1, 2];
+        gate.apply_to_basis(&mut state, d).unwrap();
+        inv.apply_to_basis(&mut state, d).unwrap();
+        assert_eq!(state, vec![1, 2]);
+    }
+
+    #[test]
+    fn qudits_lists_controls_sources_and_target() {
+        let gate = Gate::add_from(
+            QuditId::new(2),
+            true,
+            QuditId::new(3),
+            vec![Control::zero(QuditId::new(1))],
+        );
+        assert_eq!(
+            gate.qudits(),
+            vec![QuditId::new(1), QuditId::new(2), QuditId::new(3)]
+        );
+        assert_eq!(gate.arity(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let gate = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        assert_eq!(gate.to_string(), "[|0⟩@q0] X01 -> q1");
+    }
+}

@@ -1,0 +1,67 @@
+//! Core circuit substrate for the reproduction of *Optimal Synthesis of
+//! Multi-Controlled Qudit Gates* (DAC 2023).
+//!
+//! This crate provides the data model every other crate in the workspace
+//! builds on:
+//!
+//! * [`Dimension`], [`QuditId`] — qudit dimensions and wire identifiers;
+//! * [`SingleQuditOp`], [`Permutation`] — the single-qudit level operations of
+//!   the paper (`Xij`, `X+y`, the parity swaps `X_eo^e` / `X_eo^o`) plus
+//!   general unitaries;
+//! * [`Control`], [`ControlPredicate`] — `|ℓ⟩`, `|o⟩` and `|e⟩` controls;
+//! * [`Gate`], [`GateOp`], [`Circuit`] — gates (including the value-controlled
+//!   shift `|⋆⟩-X±⋆` of Fig. 6) and circuits with validation, inversion and
+//!   classical basis-state evaluation;
+//! * [`lowering`] — lowering of singly-controlled classical gates to the
+//!   elementary G-gate set `{Xij} ∪ {|0⟩-X01}`;
+//! * [`math`] — minimal complex numbers and dense matrices;
+//! * [`AncillaKind`], [`AncillaUsage`] — ancilla bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = Dimension::new(3)?;
+//! let mut circuit = Circuit::new(d, 2);
+//! // |0⟩-X+1: increment the target when the control is |0⟩.
+//! circuit.push(Gate::controlled(
+//!     SingleQuditOp::Add(1),
+//!     QuditId::new(1),
+//!     vec![Control::zero(QuditId::new(0))],
+//! ))?;
+//! assert_eq!(circuit.apply_to_basis(&[0, 2])?, vec![0, 0]);
+//!
+//! // Lower to the elementary G-gate set.
+//! let lowered = qudit_core::lowering::lower_circuit(&circuit)?;
+//! assert!(lowered.gates().iter().all(|g| g.is_g_gate()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ancilla;
+mod circuit;
+mod control;
+pub mod depth;
+pub mod diagram;
+mod dimension;
+mod error;
+mod gate;
+pub mod lowering;
+pub mod math;
+mod ops;
+pub mod optimize;
+mod qudit;
+
+pub use ancilla::{AncillaKind, AncillaUsage};
+pub use circuit::Circuit;
+pub use control::{Control, ControlPredicate};
+pub use dimension::Dimension;
+pub use error::{QuditError, Result};
+pub use gate::{Gate, GateOp};
+pub use ops::{Permutation, SingleQuditOp};
+pub use qudit::{qudit_range, QuditId};

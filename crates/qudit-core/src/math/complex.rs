@@ -1,0 +1,238 @@
+//! Minimal complex number type used for single-qudit unitaries and small
+//! state vectors.
+//!
+//! The workspace deliberately avoids an external linear-algebra dependency:
+//! all matrices involved are at most `d × d` with `d ≤ 16`, and state vectors
+//! have at most a few thousand entries.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::math::Complex;
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates `exp(i·theta)`.
+    #[inline]
+    pub fn from_phase(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns `true` when both components are within `tol` of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self - other).norm() <= tol
+    }
+
+    /// Returns the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        assert!(n > 0.0, "attempted to invert the zero complex number");
+        Complex { re: self.re / n, im: -self.im / n }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Self {
+        Complex { re: self.re * factor, im: self.im * factor }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.25, 3.0);
+        assert!((a + b - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a - a).approx_eq(Complex::ZERO, TOL));
+        assert!((-a + a).approx_eq(Complex::ZERO, TOL));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z * z.conj()).approx_eq(Complex::from_real(25.0), TOL));
+        assert!((z.norm() - 5.0).abs() < TOL);
+    }
+
+    #[test]
+    fn phase_construction() {
+        let z = Complex::from_phase(std::f64::consts::FRAC_PI_2);
+        assert!(z.approx_eq(Complex::I, TOL));
+    }
+
+    #[test]
+    fn sum_of_complex_numbers() {
+        let total: Complex = (0..4).map(|k| Complex::new(k as f64, 1.0)).sum();
+        assert!(total.approx_eq(Complex::new(6.0, 4.0), TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero complex number")]
+    fn inverting_zero_panics() {
+        let _ = Complex::ZERO.recip();
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Complex::new(1.0, -1.0).to_string(), "1.000000-1.000000i");
+    }
+}

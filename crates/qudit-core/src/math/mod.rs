@@ -1,0 +1,7 @@
+//! Minimal numerical types: complex numbers and small dense matrices.
+
+mod complex;
+mod matrix;
+
+pub use complex::Complex;
+pub use matrix::{SquareMatrix, MATRIX_TOLERANCE};

@@ -1,0 +1,238 @@
+//! Peephole optimisation of qudit circuits.
+//!
+//! The synthesis constructions conjugate levels aggressively, which produces
+//! many adjacent gate/inverse pairs after lowering (for example the
+//! `X_{0ℓ} … X_{0ℓ}` sandwiches around consecutive controlled gates on the
+//! same control level).  [`cancel_inverse_pairs`] removes every pair of gates
+//! that are exact inverses of each other and adjacent on all of their qudits;
+//! the pass is applied to a fixed point in a single sweep thanks to the
+//! per-qudit stack bookkeeping.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Removes adjacent gate/inverse pairs from a circuit.
+///
+/// Two gates form a cancellable pair when the second is the exact inverse of
+/// the first (same controls, same target, inverse operation) and no gate in
+/// between touches any qudit of the pair.  Cancellation is applied
+/// transitively: removing a pair can make an enclosing pair adjacent, which
+/// is then removed as well.
+///
+/// The result implements exactly the same unitary as the input.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+/// # use qudit_core::optimize::cancel_inverse_pairs;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(5)?;
+/// // X+1 followed by X+2 is not an inverse pair: nothing is removed.
+/// let mut circuit = Circuit::new(d, 1);
+/// circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))?;
+/// circuit.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))?;
+/// assert_eq!(cancel_inverse_pairs(&circuit).len(), 2);
+///
+/// // X+1 followed by X−1 (= X+4) cancels, leaving only the trailing X+2.
+/// let mut circuit = Circuit::new(d, 1);
+/// circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))?;
+/// circuit.push(Gate::single(SingleQuditOp::Add(4), QuditId::new(0)))?;
+/// circuit.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))?;
+/// assert_eq!(cancel_inverse_pairs(&circuit).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cancel_inverse_pairs(circuit: &Circuit) -> Circuit {
+    let dimension = circuit.dimension();
+    // `kept[i]` is Some(gate) while gate i is still in the output.
+    let mut kept: Vec<Option<Gate>> = Vec::with_capacity(circuit.len());
+    // For each qudit, the indices (into `kept`) of the retained gates that
+    // touch it, in order.
+    let mut last_touch: Vec<Vec<usize>> = vec![Vec::new(); circuit.width()];
+
+    for gate in circuit.gates() {
+        let qudits = gate.qudits();
+        // The candidate for cancellation is the most recent retained gate on
+        // any of this gate's qudits — and it must be the most recent on all
+        // of them.
+        let candidate = qudits
+            .iter()
+            .filter_map(|q| last_touch[q.index()].last().copied())
+            .max();
+        let cancels = candidate.is_some_and(|index| {
+            let previous = kept[index].as_ref().expect("candidate is retained");
+            let same_support = qudits
+                .iter()
+                .all(|q| last_touch[q.index()].last() == Some(&index));
+            let same_qudits = {
+                let mut a = previous.qudits();
+                let mut b = qudits.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
+            };
+            same_support && same_qudits && previous.inverse(dimension) == *gate
+        });
+        if let (true, Some(index)) = (cancels, candidate) {
+            // Remove the previous gate and drop the current one.
+            kept[index] = None;
+            for q in kept_qudits(&qudits) {
+                let stack = &mut last_touch[q];
+                debug_assert_eq!(stack.last(), Some(&index));
+                stack.pop();
+            }
+        } else {
+            let index = kept.len();
+            kept.push(Some(gate.clone()));
+            for q in kept_qudits(&qudits) {
+                last_touch[q].push(index);
+            }
+        }
+    }
+
+    let mut out = Circuit::new(dimension, circuit.width());
+    for gate in kept.into_iter().flatten() {
+        out.push(gate).expect("gates were valid in the input circuit");
+    }
+    out
+}
+
+fn kept_qudits(qudits: &[crate::qudit::QuditId]) -> impl Iterator<Item = usize> + '_ {
+    qudits.iter().map(|q| q.index())
+}
+
+/// Convenience statistic: the number of gates removed by
+/// [`cancel_inverse_pairs`].
+pub fn cancelled_gate_count(circuit: &Circuit) -> usize {
+    circuit.len() - cancel_inverse_pairs(circuit).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+    use crate::dimension::Dimension;
+    use crate::ops::SingleQuditOp;
+    use crate::qudit::QuditId;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn assert_same_action(a: &Circuit, b: &Circuit) {
+        let dimension = a.dimension();
+        let d = dimension.as_usize();
+        let width = a.width();
+        let size = dimension.register_size(width);
+        for mut index in 0..size {
+            let mut digits = vec![0u32; width];
+            for slot in digits.iter_mut().rev() {
+                *slot = (index % d) as u32;
+                index /= d;
+            }
+            assert_eq!(a.apply_to_basis(&digits).unwrap(), b.apply_to_basis(&digits).unwrap());
+        }
+    }
+
+    #[test]
+    fn adjacent_involutions_cancel() {
+        let d = dim(3);
+        let mut c = Circuit::new(d, 2);
+        let gate = Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        c.push(gate.clone()).unwrap();
+        c.push(gate).unwrap();
+        let optimized = cancel_inverse_pairs(&c);
+        assert!(optimized.is_empty());
+        assert_eq!(cancelled_gate_count(&c), 2);
+    }
+
+    #[test]
+    fn nested_pairs_cancel_transitively() {
+        let d = dim(5);
+        let mut c = Circuit::new(d, 1);
+        // X+1, X+2, X−2, X−1 — cancels completely from the inside out.
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(3), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(4), QuditId::new(0))).unwrap();
+        let optimized = cancel_inverse_pairs(&c);
+        assert!(optimized.is_empty());
+    }
+
+    #[test]
+    fn intervening_gates_block_cancellation() {
+        let d = dim(3);
+        let mut c = Circuit::new(d, 2);
+        let swap = Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(0));
+        c.push(swap.clone()).unwrap();
+        // A gate on the same qudit in between prevents the outer pair from
+        // cancelling.
+        c.push(Gate::controlled(
+            SingleQuditOp::Add(1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        ))
+        .unwrap();
+        c.push(swap).unwrap();
+        let optimized = cancel_inverse_pairs(&c);
+        assert_eq!(optimized.len(), 3);
+        assert_same_action(&c, &optimized);
+    }
+
+    #[test]
+    fn gates_on_disjoint_qudits_do_not_block() {
+        let d = dim(3);
+        let mut c = Circuit::new(d, 3);
+        let swap = Gate::single(SingleQuditOp::Swap(0, 2), QuditId::new(0));
+        c.push(swap.clone()).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(2))).unwrap();
+        c.push(swap).unwrap();
+        let optimized = cancel_inverse_pairs(&c);
+        assert_eq!(optimized.len(), 1);
+        assert_same_action(&c, &optimized);
+    }
+
+    #[test]
+    fn controls_must_match_for_cancellation() {
+        let d = dim(3);
+        let mut c = Circuit::new(d, 2);
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        ))
+        .unwrap();
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(1),
+            vec![Control::level(QuditId::new(0), 1)],
+        ))
+        .unwrap();
+        let optimized = cancel_inverse_pairs(&c);
+        assert_eq!(optimized.len(), 2);
+    }
+
+    #[test]
+    fn optimisation_preserves_semantics_on_a_mixed_circuit() {
+        let d = dim(4);
+        let mut c = Circuit::new(d, 3);
+        let gates = vec![
+            Gate::single(SingleQuditOp::Swap(0, 3), QuditId::new(0)),
+            Gate::controlled(SingleQuditOp::Add(1), QuditId::new(1), vec![Control::odd(QuditId::new(0))]),
+            Gate::controlled(SingleQuditOp::Add(3), QuditId::new(1), vec![Control::odd(QuditId::new(0))]),
+            Gate::single(SingleQuditOp::Swap(0, 3), QuditId::new(0)),
+            Gate::single(SingleQuditOp::ParityFlipEven, QuditId::new(2)),
+        ];
+        for gate in gates {
+            c.push(gate).unwrap();
+        }
+        let optimized = cancel_inverse_pairs(&c);
+        assert!(optimized.len() < c.len());
+        assert_same_action(&c, &optimized);
+    }
+}

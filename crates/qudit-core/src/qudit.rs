@@ -1,0 +1,88 @@
+//! Qudit identifiers within a circuit.
+
+use std::fmt;
+
+/// Identifier of a single qudit (wire) within a [`crate::Circuit`].
+///
+/// Qudits are numbered `0, 1, …, width − 1` from the top of the circuit
+/// diagram downwards, matching the figures in the paper.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::QuditId;
+/// let q = QuditId::new(3);
+/// assert_eq!(q.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QuditId(usize);
+
+impl QuditId {
+    /// Creates a qudit identifier from its wire index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        QuditId(index)
+    }
+
+    /// Returns the wire index of this qudit.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for QuditId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<usize> for QuditId {
+    fn from(index: usize) -> Self {
+        QuditId(index)
+    }
+}
+
+impl From<QuditId> for usize {
+    fn from(id: QuditId) -> Self {
+        id.0
+    }
+}
+
+/// Builds a contiguous range of qudit identifiers `start, …, start + count − 1`.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::{qudit_range, QuditId};
+/// assert_eq!(qudit_range(2, 3), vec![QuditId::new(2), QuditId::new(3), QuditId::new(4)]);
+/// ```
+pub fn qudit_range(start: usize, count: usize) -> Vec<QuditId> {
+    (start..start + count).map(QuditId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let q = QuditId::from(5usize);
+        assert_eq!(usize::from(q), 5);
+        assert_eq!(q.to_string(), "q5");
+    }
+
+    #[test]
+    fn range_builder() {
+        assert_eq!(qudit_range(0, 0), Vec::<QuditId>::new());
+        assert_eq!(
+            qudit_range(1, 2),
+            vec![QuditId::new(1), QuditId::new(2)]
+        );
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(QuditId::new(1) < QuditId::new(2));
+    }
+}

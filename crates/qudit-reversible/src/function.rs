@@ -1,0 +1,268 @@
+//! Representation of `n`-variable `d`-ary classical reversible functions.
+
+use qudit_core::{Dimension, QuditError, Result};
+use rand::Rng;
+
+/// An `n`-variable `d`-ary classical reversible function, i.e. a bijection
+/// `f : [d]^n → [d]^n`, stored as a permutation table over basis indices.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::Dimension;
+/// # use qudit_reversible::ReversibleFunction;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let f = ReversibleFunction::identity(d, 2);
+/// assert_eq!(f.apply(&[1, 2])?, vec![1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReversibleFunction {
+    dimension: Dimension,
+    variables: usize,
+    table: Vec<usize>,
+}
+
+impl ReversibleFunction {
+    /// Creates a reversible function from a permutation table over basis
+    /// indices (`table[i]` is the image of basis state `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the table length is not `d^n` or the table is
+    /// not a bijection.
+    pub fn from_table(dimension: Dimension, variables: usize, table: Vec<usize>) -> Result<Self> {
+        let size = dimension.register_size(variables);
+        if table.len() != size {
+            return Err(QuditError::MatrixShapeMismatch { found: table.len(), expected: size });
+        }
+        let mut seen = vec![false; size];
+        for &image in &table {
+            if image >= size || seen[image] {
+                return Err(QuditError::NotAPermutation);
+            }
+            seen[image] = true;
+        }
+        Ok(ReversibleFunction { dimension, variables, table })
+    }
+
+    /// The identity function on `n` variables.
+    pub fn identity(dimension: Dimension, variables: usize) -> Self {
+        let size = dimension.register_size(variables);
+        ReversibleFunction { dimension, variables, table: (0..size).collect() }
+    }
+
+    /// A uniformly random reversible function.
+    pub fn random<R: Rng>(dimension: Dimension, variables: usize, rng: &mut R) -> Self {
+        let size = dimension.register_size(variables);
+        let mut table: Vec<usize> = (0..size).collect();
+        for i in (1..size).rev() {
+            let j = rng.gen_range(0..=i);
+            table.swap(i, j);
+        }
+        ReversibleFunction { dimension, variables, table }
+    }
+
+    /// The single 2-cycle exchanging basis states `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the digit vectors have the wrong length, contain
+    /// out-of-range digits, or are equal.
+    pub fn two_cycle(dimension: Dimension, variables: usize, a: &[u32], b: &[u32]) -> Result<Self> {
+        let ia = digits_to_index(a, dimension, variables)?;
+        let ib = digits_to_index(b, dimension, variables)?;
+        if ia == ib {
+            return Err(QuditError::NotAPermutation);
+        }
+        let mut table: Vec<usize> = (0..dimension.register_size(variables)).collect();
+        table.swap(ia, ib);
+        Ok(ReversibleFunction { dimension, variables, table })
+    }
+
+    /// The qudit dimension `d`.
+    pub fn dimension(&self) -> Dimension {
+        self.dimension
+    }
+
+    /// The number of variables `n`.
+    pub fn variables(&self) -> usize {
+        self.variables
+    }
+
+    /// The permutation table over basis indices.
+    pub fn table(&self) -> &[usize] {
+        &self.table
+    }
+
+    /// Applies the function to a digit vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input has the wrong length or contains
+    /// out-of-range digits.
+    pub fn apply(&self, digits: &[u32]) -> Result<Vec<u32>> {
+        let index = digits_to_index(digits, self.dimension, self.variables)?;
+        Ok(index_to_digits(self.table[index], self.dimension, self.variables))
+    }
+
+    /// The inverse function.
+    pub fn inverse(&self) -> ReversibleFunction {
+        let mut table = vec![0usize; self.table.len()];
+        for (from, &to) in self.table.iter().enumerate() {
+            table[to] = from;
+        }
+        ReversibleFunction { dimension: self.dimension, variables: self.variables, table }
+    }
+
+    /// The composition `self ∘ other` (apply `other` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the functions have different dimensions or variable counts.
+    pub fn compose(&self, other: &ReversibleFunction) -> ReversibleFunction {
+        assert_eq!(self.dimension, other.dimension, "dimensions must match");
+        assert_eq!(self.variables, other.variables, "variable counts must match");
+        let table = other.table.iter().map(|&mid| self.table[mid]).collect();
+        ReversibleFunction { dimension: self.dimension, variables: self.variables, table }
+    }
+
+    /// Returns `true` if this is the identity function.
+    pub fn is_identity(&self) -> bool {
+        self.table.iter().enumerate().all(|(i, &to)| i == to)
+    }
+
+    /// Decomposes the permutation into 2-cycles (pairs of basis-state digit
+    /// vectors), such that applying the 2-cycles in order reproduces the
+    /// function.  At most `dⁿ − 1` cycles are returned.
+    pub fn two_cycles(&self) -> Vec<(Vec<u32>, Vec<u32>)> {
+        let mut result = Vec::new();
+        let size = self.table.len();
+        let mut visited = vec![false; size];
+        for start in 0..size {
+            if visited[start] || self.table[start] == start {
+                visited[start] = true;
+                continue;
+            }
+            // Collect the cycle containing `start`.
+            let mut cycle = vec![start];
+            visited[start] = true;
+            let mut current = self.table[start];
+            while current != start {
+                visited[current] = true;
+                cycle.push(current);
+                current = self.table[current];
+            }
+            // (c0 c1 … c_{L−1}) = time-ordered product of (c0 c1), (c0 c2), …
+            for &element in cycle.iter().skip(1) {
+                result.push((
+                    index_to_digits(cycle[0], self.dimension, self.variables),
+                    index_to_digits(element, self.dimension, self.variables),
+                ));
+            }
+        }
+        result
+    }
+}
+
+fn digits_to_index(digits: &[u32], dimension: Dimension, variables: usize) -> Result<usize> {
+    if digits.len() != variables {
+        return Err(QuditError::QuditOutOfRange { qudit: digits.len(), width: variables });
+    }
+    let mut index = 0usize;
+    for &digit in digits {
+        dimension.check_level(digit)?;
+        index = index * dimension.as_usize() + digit as usize;
+    }
+    Ok(index)
+}
+
+fn index_to_digits(mut index: usize, dimension: Dimension, variables: usize) -> Vec<u32> {
+    let d = dimension.as_usize();
+    let mut digits = vec![0u32; variables];
+    for slot in digits.iter_mut().rev() {
+        *slot = (index % d) as u32;
+        index /= d;
+    }
+    digits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn table_validation() {
+        let d = dim(3);
+        assert!(ReversibleFunction::from_table(d, 1, vec![0, 1, 2]).is_ok());
+        assert!(ReversibleFunction::from_table(d, 1, vec![0, 1]).is_err());
+        assert!(ReversibleFunction::from_table(d, 1, vec![0, 0, 2]).is_err());
+        assert!(ReversibleFunction::from_table(d, 1, vec![0, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn apply_and_inverse_round_trip() {
+        let d = dim(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = ReversibleFunction::random(d, 3, &mut rng);
+        let inv = f.inverse();
+        for index in 0..27 {
+            let digits = index_to_digits(index, d, 3);
+            let image = f.apply(&digits).unwrap();
+            assert_eq!(inv.apply(&image).unwrap(), digits);
+        }
+        assert!(f.compose(&inv).is_identity());
+        assert!(inv.compose(&f).is_identity());
+    }
+
+    #[test]
+    fn two_cycle_constructor() {
+        let d = dim(3);
+        let f = ReversibleFunction::two_cycle(d, 2, &[0, 1], &[2, 2]).unwrap();
+        assert_eq!(f.apply(&[0, 1]).unwrap(), vec![2, 2]);
+        assert_eq!(f.apply(&[2, 2]).unwrap(), vec![0, 1]);
+        assert_eq!(f.apply(&[1, 1]).unwrap(), vec![1, 1]);
+        assert!(ReversibleFunction::two_cycle(d, 2, &[0, 1], &[0, 1]).is_err());
+        assert!(ReversibleFunction::two_cycle(d, 2, &[0, 3], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn two_cycle_decomposition_reconstructs_the_function() {
+        let d = dim(3);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let f = ReversibleFunction::random(d, 2, &mut rng);
+            let mut rebuilt = ReversibleFunction::identity(d, 2);
+            for (a, b) in f.two_cycles() {
+                let swap = ReversibleFunction::two_cycle(d, 2, &a, &b).unwrap();
+                rebuilt = swap.compose(&rebuilt);
+            }
+            assert_eq!(rebuilt, f);
+            assert!(f.two_cycles().len() <= 8);
+        }
+    }
+
+    #[test]
+    fn identity_has_no_two_cycles() {
+        let d = dim(4);
+        let f = ReversibleFunction::identity(d, 2);
+        assert!(f.is_identity());
+        assert!(f.two_cycles().is_empty());
+    }
+
+    #[test]
+    fn apply_validates_inputs() {
+        let d = dim(3);
+        let f = ReversibleFunction::identity(d, 2);
+        assert!(f.apply(&[0]).is_err());
+        assert!(f.apply(&[0, 3]).is_err());
+    }
+}

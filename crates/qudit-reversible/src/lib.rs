@@ -1,0 +1,36 @@
+//! Implementation of `d`-ary classical reversible functions as qudit
+//! circuits — Theorem IV.2 and Lemma IV.3 of *Optimal Synthesis of
+//! Multi-Controlled Qudit Gates* (DAC 2023).
+//!
+//! * [`ReversibleFunction`] — bijections `f : [d]ⁿ → [d]ⁿ` with cycle and
+//!   2-cycle decompositions;
+//! * [`ReversibleSynthesizer`] — the Fig. 11 compiler producing `O(n·dⁿ)`
+//!   G-gate circuits, ancilla-free for odd `d` and with one borrowed ancilla
+//!   for even `d`;
+//! * [`lower_bound`] — the counting lower bound of Lemma IV.3.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::Dimension;
+//! use qudit_reversible::{ReversibleFunction, ReversibleSynthesizer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = Dimension::new(3)?;
+//! let f = ReversibleFunction::two_cycle(d, 3, &[0, 0, 0], &[2, 1, 0])?;
+//! let synthesis = ReversibleSynthesizer::new(d)?.synthesize(&f)?;
+//! assert!(synthesis.resources().g_gates > 0);
+//! assert_eq!(synthesis.resources().total_ancillas(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod function;
+pub mod lower_bound;
+mod synthesis;
+
+pub use function::ReversibleFunction;
+pub use synthesis::{ReversibleLayout, ReversibleSynthesis, ReversibleSynthesizer};

@@ -1,0 +1,81 @@
+//! Lemma IV.3: the counting lower bound on the G-gate count of reversible
+//! function implementations.
+
+use qudit_core::Dimension;
+
+/// The counting lower bound of Lemma IV.3: with `(c − 1)·n` ancillas
+/// available, some `n`-variable `d`-ary reversible function requires at least
+///
+/// ```text
+/// N ≥ n·dⁿ·log d / (4·log(c·d·n))
+/// ```
+///
+/// G-gates.  Returns the bound as a floating point number of gates.
+///
+/// # Panics
+///
+/// Panics if `variables == 0` or `ancilla_factor == 0`.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::Dimension;
+/// # use qudit_reversible::lower_bound::g_gate_lower_bound;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// assert!(g_gate_lower_bound(d, 4, 2) > 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn g_gate_lower_bound(dimension: Dimension, variables: usize, ancilla_factor: usize) -> f64 {
+    assert!(variables > 0, "the lower bound is defined for at least one variable");
+    assert!(ancilla_factor > 0, "the ancilla factor c must be positive");
+    let d = dimension.get() as f64;
+    let n = variables as f64;
+    let c = ancilla_factor as f64;
+    n * d.powf(n) * d.ln() / (4.0 * (c * d * n).ln())
+}
+
+/// The exact count of distinct `n`-variable `d`-ary reversible functions,
+/// `(dⁿ)!`, as a natural logarithm (the number itself overflows quickly).
+pub fn ln_reversible_function_count(dimension: Dimension, variables: usize) -> f64 {
+    let size = dimension.register_size(variables);
+    (1..=size).map(|x| (x as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn bound_grows_with_n_and_d() {
+        let d3 = dim(3);
+        assert!(g_gate_lower_bound(d3, 3, 2) < g_gate_lower_bound(d3, 4, 2));
+        assert!(g_gate_lower_bound(d3, 4, 2) < g_gate_lower_bound(dim(5), 4, 2));
+    }
+
+    #[test]
+    fn bound_has_the_expected_magnitude() {
+        // For d = 3, n = 4: n·dⁿ = 324; the bound divides by 4·log(2·3·4) ≈ 12.7.
+        let bound = g_gate_lower_bound(dim(3), 4, 2);
+        assert!(bound > 20.0 && bound < 324.0, "bound {bound}");
+    }
+
+    #[test]
+    fn function_count_logarithm_is_increasing() {
+        let d = dim(3);
+        assert!(ln_reversible_function_count(d, 2) < ln_reversible_function_count(d, 3));
+        // ln(9!) ≈ 12.8
+        assert!((ln_reversible_function_count(d, 2) - 12.8).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn zero_variables_panic() {
+        let _ = g_gate_lower_bound(dim(3), 0, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Mixed-radix indexing of computational basis states.
+//!
+//! A register of `width` qudits of dimension `d` has `d^width` basis states.
+//! Basis states are written as digit vectors `[x_0, x_1, …]` with qudit 0 the
+//! most significant digit, matching the top-to-bottom ordering of the
+//! circuit figures in the paper.
+
+use qudit_core::Dimension;
+
+/// Converts a digit vector to its basis-state index.
+///
+/// # Panics
+///
+/// Panics if any digit is `≥ d`.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::Dimension;
+/// # use qudit_sim::basis::digits_to_index;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// assert_eq!(digits_to_index(&[1, 2], d), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn digits_to_index(digits: &[u32], dimension: Dimension) -> usize {
+    let d = dimension.as_usize();
+    let mut index = 0usize;
+    for &digit in digits {
+        assert!((digit as usize) < d, "digit {digit} out of range for dimension {d}");
+        index = index * d + digit as usize;
+    }
+    index
+}
+
+/// Converts a basis-state index to its digit vector.
+///
+/// # Panics
+///
+/// Panics if `index ≥ d^width`.
+pub fn index_to_digits(index: usize, dimension: Dimension, width: usize) -> Vec<u32> {
+    let d = dimension.as_usize();
+    assert!(index < dimension.register_size(width), "index out of range");
+    let mut digits = vec![0u32; width];
+    let mut rest = index;
+    for slot in digits.iter_mut().rev() {
+        *slot = (rest % d) as u32;
+        rest /= d;
+    }
+    digits
+}
+
+/// Iterates over every basis state of a register, in index order.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::Dimension;
+/// # use qudit_sim::basis::all_basis_states;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// assert_eq!(all_basis_states(d, 2).count(), 9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn all_basis_states(dimension: Dimension, width: usize) -> impl Iterator<Item = Vec<u32>> {
+    let size = dimension.register_size(width);
+    (0..size).map(move |i| index_to_digits(i, dimension, width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn round_trip_all_indices() {
+        for d in [2u32, 3, 5] {
+            let dimension = dim(d);
+            for width in 0..4 {
+                for index in 0..dimension.register_size(width) {
+                    let digits = index_to_digits(index, dimension, width);
+                    assert_eq!(digits_to_index(&digits, dimension), index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qudit_zero_is_most_significant() {
+        let dimension = dim(3);
+        assert_eq!(digits_to_index(&[2, 0], dimension), 6);
+        assert_eq!(index_to_digits(6, dimension, 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn iteration_covers_every_state_once() {
+        let dimension = dim(4);
+        let states: Vec<Vec<u32>> = all_basis_states(dimension, 2).collect();
+        assert_eq!(states.len(), 16);
+        assert_eq!(states[0], vec![0, 0]);
+        assert_eq!(states[15], vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn digit_out_of_range_panics() {
+        let _ = digits_to_index(&[3], dim(3));
+    }
+}

@@ -1,0 +1,328 @@
+//! Equivalence and specification checkers used to verify syntheses.
+//!
+//! The paper's constructions are verified functionally: a synthesised
+//! circuit must implement its multi-controlled gate specification for every
+//! computational basis state (borrowed-ancilla semantics) or for every basis
+//! state with the clean ancilla in `|0⟩` (clean-ancilla semantics).
+
+use qudit_core::math::{SquareMatrix, MATRIX_TOLERANCE};
+use qudit_core::{Circuit, Dimension, QuditId, Result, SingleQuditOp};
+use rand::Rng;
+
+use crate::basis::{all_basis_states, index_to_digits};
+use crate::statevector::circuit_unitary;
+
+/// Specification of a multi-controlled gate `|0^k⟩-op`.
+///
+/// The circuit under test may be wider than `controls ∪ {target}`; every
+/// additional qudit is treated as a borrowed ancilla and must be returned to
+/// its initial state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MctSpec {
+    /// The control qudits (all `|0⟩`-controls).
+    pub controls: Vec<QuditId>,
+    /// The target qudit.
+    pub target: QuditId,
+    /// The operation applied to the target when every control is `|0⟩`.
+    pub op: SingleQuditOp,
+}
+
+impl MctSpec {
+    /// Creates a specification for the k-Toffoli gate (`op = X01`).
+    pub fn toffoli(controls: Vec<QuditId>, target: QuditId) -> Self {
+        MctSpec { controls, target, op: SingleQuditOp::Swap(0, 1) }
+    }
+
+    /// Computes the expected output basis state for a given input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `op` is not classical.
+    pub fn expected_output(&self, input: &[u32], dimension: Dimension) -> Result<Vec<u32>> {
+        let mut output = input.to_vec();
+        let all_zero = self.controls.iter().all(|c| input[c.index()] == 0);
+        if all_zero {
+            let t = self.target.index();
+            output[t] = self.op.apply_level(output[t], dimension)?;
+        }
+        Ok(output)
+    }
+}
+
+/// The outcome of a functional verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verification {
+    /// Every checked input behaved as specified.
+    Pass {
+        /// Number of basis states checked.
+        inputs_checked: usize,
+    },
+    /// Some input produced the wrong output.
+    Fail {
+        /// The offending input basis state.
+        input: Vec<u32>,
+        /// The expected output.
+        expected: Vec<u32>,
+        /// The output the circuit produced.
+        actual: Vec<u32>,
+    },
+}
+
+impl Verification {
+    /// Returns `true` for a passing verification.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verification::Pass { .. })
+    }
+}
+
+/// Exhaustively verifies that a classical circuit implements an [`MctSpec`]
+/// with borrowed-ancilla semantics (every non-target qudit restored).
+///
+/// # Errors
+///
+/// Returns an error when the circuit is non-classical or the specification
+/// refers to qudits outside the circuit.
+pub fn verify_mct_exhaustive(circuit: &Circuit, spec: &MctSpec) -> Result<Verification> {
+    let dimension = circuit.dimension();
+    let mut checked = 0usize;
+    for input in all_basis_states(dimension, circuit.width()) {
+        let expected = spec.expected_output(&input, dimension)?;
+        let actual = circuit.apply_to_basis(&input)?;
+        if actual != expected {
+            return Ok(Verification::Fail { input, expected, actual });
+        }
+        checked += 1;
+    }
+    Ok(Verification::Pass { inputs_checked: checked })
+}
+
+/// Verifies an [`MctSpec`] on `samples` uniformly random basis states.
+///
+/// Use this for registers too large for exhaustive checking.
+///
+/// # Errors
+///
+/// Returns an error when the circuit is non-classical or the specification
+/// refers to qudits outside the circuit.
+pub fn verify_mct_sampled<R: Rng>(
+    circuit: &Circuit,
+    spec: &MctSpec,
+    samples: usize,
+    rng: &mut R,
+) -> Result<Verification> {
+    let dimension = circuit.dimension();
+    let width = circuit.width();
+    let d = dimension.get();
+    let mut checked = 0usize;
+    for sample in 0..samples {
+        // Bias half of the samples towards all-zero controls so that the
+        // "fire" branch is exercised even for large k.
+        let mut input: Vec<u32> = (0..width).map(|_| rng.gen_range(0..d)).collect();
+        if sample % 2 == 0 {
+            for c in &spec.controls {
+                input[c.index()] = 0;
+            }
+        }
+        let expected = spec.expected_output(&input, dimension)?;
+        let actual = circuit.apply_to_basis(&input)?;
+        if actual != expected {
+            return Ok(Verification::Fail { input, expected, actual });
+        }
+        checked += 1;
+    }
+    Ok(Verification::Pass { inputs_checked: checked })
+}
+
+/// Exhaustively verifies a circuit that uses one clean ancilla: only inputs
+/// with the ancilla in `|0⟩` are checked, and the ancilla must be returned to
+/// `|0⟩`.
+///
+/// # Errors
+///
+/// Returns an error when the circuit is non-classical or the specification
+/// refers to qudits outside the circuit.
+pub fn verify_mct_with_clean_ancilla(
+    circuit: &Circuit,
+    spec: &MctSpec,
+    clean: QuditId,
+) -> Result<Verification> {
+    let dimension = circuit.dimension();
+    let mut checked = 0usize;
+    for input in all_basis_states(dimension, circuit.width()) {
+        if input[clean.index()] != 0 {
+            continue;
+        }
+        let expected = spec.expected_output(&input, dimension)?;
+        let actual = circuit.apply_to_basis(&input)?;
+        if actual != expected {
+            return Ok(Verification::Fail { input, expected, actual });
+        }
+        checked += 1;
+    }
+    Ok(Verification::Pass { inputs_checked: checked })
+}
+
+/// Builds the ideal unitary of a multi-controlled single-qudit gate
+/// specification on a register of the given width.
+///
+/// # Errors
+///
+/// Returns an error when the specification refers to qudits outside the
+/// register.
+pub fn mct_unitary(spec: &MctSpec, dimension: Dimension, width: usize) -> Result<SquareMatrix> {
+    let op_matrix = spec.op.to_matrix(dimension);
+    let size = dimension.register_size(width);
+    let d = dimension.as_usize();
+    let mut matrix = SquareMatrix::zeros(size);
+    let target = spec.target.index();
+    let stride = d.pow((width - 1 - target) as u32);
+    for column in 0..size {
+        let digits = index_to_digits(column, dimension, width);
+        let fires = spec.controls.iter().all(|c| digits[c.index()] == 0);
+        if !fires {
+            matrix[(column, column)] = qudit_core::math::Complex::ONE;
+            continue;
+        }
+        let t_digit = digits[target] as usize;
+        let base = column - t_digit * stride;
+        for row_digit in 0..d {
+            let row = base + row_digit * stride;
+            matrix[(row, column)] = op_matrix[(row_digit, t_digit)];
+        }
+    }
+    Ok(matrix)
+}
+
+/// Verifies that a (possibly non-classical) circuit implements the unitary of
+/// an [`MctSpec`], up to numerical tolerance, with every extra qudit acting
+/// as a borrowed ancilla in the computational basis.
+///
+/// This builds the full `d^width` unitary; only use it for small registers.
+///
+/// # Errors
+///
+/// Returns an error when the circuit cannot be simulated.
+pub fn verify_mct_unitary(circuit: &Circuit, spec: &MctSpec) -> Result<bool> {
+    let expected = mct_unitary(spec, circuit.dimension(), circuit.width())?;
+    let actual = circuit_unitary(circuit)?;
+    Ok(actual.approx_eq(&expected, 1e-7))
+}
+
+/// Checks that two circuits implement the same unitary up to global phase.
+///
+/// # Errors
+///
+/// Returns an error when either circuit cannot be simulated.
+pub fn circuits_equal_up_to_phase(a: &Circuit, b: &Circuit) -> Result<bool> {
+    let ua = circuit_unitary(a)?;
+    let ub = circuit_unitary(b)?;
+    Ok(ua.approx_eq_up_to_phase(&ub, MATRIX_TOLERANCE.max(1e-7)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::{Control, Gate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn macro_toffoli(d: Dimension, k: usize) -> Circuit {
+        let mut c = Circuit::new(d, k + 1);
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            QuditId::new(k),
+            (0..k).map(|i| Control::zero(QuditId::new(i))).collect(),
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn macro_toffoli_satisfies_its_own_spec() {
+        let d = dim(3);
+        let circuit = macro_toffoli(d, 2);
+        let spec = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(1)], QuditId::new(2));
+        assert!(verify_mct_exhaustive(&circuit, &spec).unwrap().is_pass());
+        assert!(verify_mct_unitary(&circuit, &spec).unwrap());
+    }
+
+    #[test]
+    fn wrong_circuit_is_rejected() {
+        let d = dim(3);
+        let circuit = macro_toffoli(d, 2);
+        // Spec with swapped roles should fail.
+        let spec = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(2)], QuditId::new(1));
+        let verdict = verify_mct_exhaustive(&circuit, &spec).unwrap();
+        assert!(!verdict.is_pass());
+        if let Verification::Fail { input, expected, actual } = verdict {
+            assert_ne!(expected, actual);
+            assert_eq!(input.len(), 3);
+        }
+    }
+
+    #[test]
+    fn sampled_verification_agrees_with_exhaustive() {
+        let d = dim(3);
+        let circuit = macro_toffoli(d, 3);
+        let spec = MctSpec::toffoli(
+            vec![QuditId::new(0), QuditId::new(1), QuditId::new(2)],
+            QuditId::new(3),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(verify_mct_sampled(&circuit, &spec, 64, &mut rng).unwrap().is_pass());
+    }
+
+    #[test]
+    fn clean_ancilla_semantics_ignores_nonzero_ancilla_inputs() {
+        let d = dim(3);
+        // A circuit that garbles the ancilla whenever it starts in |1⟩ is
+        // still accepted by the clean-ancilla check, because only ancilla
+        // inputs equal to |0⟩ are part of the contract.
+        let mut circuit = macro_toffoli(d, 2).widened(4).unwrap();
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(3),
+                vec![Control::level(QuditId::new(0), 1)],
+            ))
+            .unwrap();
+        let spec = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(1)], QuditId::new(2));
+        // Borrowed semantics fail (the extra qudit is modified for some inputs)…
+        assert!(!verify_mct_exhaustive(&circuit, &spec).unwrap().is_pass());
+        // …but clean-ancilla semantics still hold? No: the ancilla is changed
+        // even when it starts in |0⟩ (whenever x0 = 1), so this also fails.
+        assert!(!verify_mct_with_clean_ancilla(&circuit, &spec, QuditId::new(3))
+            .unwrap()
+            .is_pass());
+        // The untouched widened circuit satisfies both contracts.
+        let clean_circuit = macro_toffoli(d, 2).widened(4).unwrap();
+        assert!(verify_mct_exhaustive(&clean_circuit, &spec).unwrap().is_pass());
+        assert!(verify_mct_with_clean_ancilla(&clean_circuit, &spec, QuditId::new(3))
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn ideal_unitary_is_unitary() {
+        let d = dim(3);
+        let spec = MctSpec {
+            controls: vec![QuditId::new(0)],
+            target: QuditId::new(1),
+            op: SingleQuditOp::Add(1),
+        };
+        let u = mct_unitary(&spec, d, 2).unwrap();
+        assert!(u.is_unitary(MATRIX_TOLERANCE));
+    }
+
+    #[test]
+    fn phase_equivalence_of_identical_circuits() {
+        let d = dim(3);
+        let a = macro_toffoli(d, 2);
+        let b = macro_toffoli(d, 2);
+        assert!(circuits_equal_up_to_phase(&a, &b).unwrap());
+    }
+}

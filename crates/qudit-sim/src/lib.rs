@@ -1,0 +1,49 @@
+//! Simulation substrate for the *Optimal Synthesis of Multi-Controlled Qudit
+//! Gates* reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`basis`] — mixed-radix indexing of computational basis states;
+//! * [`PermutationSimulator`] and [`permutation_sim`] — fast classical
+//!   simulation of the permutation circuits produced by the synthesis
+//!   algorithms, plus full permutation-table extraction;
+//! * [`StateVector`] and [`statevector`] — state-vector simulation supporting
+//!   arbitrary controlled unitaries;
+//! * [`equivalence`] — specification checkers for multi-controlled gates with
+//!   borrowed- or clean-ancilla semantics, and unitary equivalence up to
+//!   global phase;
+//! * [`random`] — random unitaries, permutations and reversible functions for
+//!   workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+//! use qudit_sim::equivalence::{verify_mct_exhaustive, MctSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = Dimension::new(3)?;
+//! let mut circuit = Circuit::new(d, 2);
+//! circuit.push(Gate::controlled(
+//!     SingleQuditOp::Swap(0, 1),
+//!     QuditId::new(1),
+//!     vec![Control::zero(QuditId::new(0))],
+//! ))?;
+//! let spec = MctSpec::toffoli(vec![QuditId::new(0)], QuditId::new(1));
+//! assert!(verify_mct_exhaustive(&circuit, &spec)?.is_pass());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basis;
+pub mod equivalence;
+pub mod permutation_sim;
+pub mod random;
+pub mod statevector;
+
+pub use equivalence::{MctSpec, Verification};
+pub use permutation_sim::{circuit_permutation, classical_circuits_equal, PermutationSimulator};
+pub use statevector::{circuit_unitary, StateVector};

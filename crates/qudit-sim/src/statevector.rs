@@ -1,0 +1,340 @@
+//! State-vector simulation of qudit circuits, including non-classical
+//! (unitary) gates.
+
+use qudit_core::math::{Complex, SquareMatrix};
+use qudit_core::{Circuit, Dimension, Gate, GateOp, QuditError, Result, SingleQuditOp};
+
+use crate::basis::{digits_to_index, index_to_digits};
+
+/// A full state vector over `width` qudits of dimension `d`.
+///
+/// # Example
+///
+/// ```
+/// # use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+/// # use qudit_sim::StateVector;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 2);
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+///
+/// let mut state = StateVector::from_basis(d, &[0, 0])?;
+/// state.apply_circuit(&circuit)?;
+/// assert!(state.probability(&[0, 1]) > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    dimension: Dimension,
+    width: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros basis state `|0…0⟩`.
+    pub fn new(dimension: Dimension, width: usize) -> Self {
+        let size = dimension.register_size(width);
+        let mut amplitudes = vec![Complex::ZERO; size];
+        amplitudes[0] = Complex::ONE;
+        StateVector { dimension, width, amplitudes }
+    }
+
+    /// Creates the basis state with the given digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a digit is out of range.
+    pub fn from_basis(dimension: Dimension, digits: &[u32]) -> Result<Self> {
+        for &digit in digits {
+            dimension.check_level(digit)?;
+        }
+        let size = dimension.register_size(digits.len());
+        let mut amplitudes = vec![Complex::ZERO; size];
+        amplitudes[digits_to_index(digits, dimension)] = Complex::ONE;
+        Ok(StateVector { dimension, width: digits.len(), amplitudes })
+    }
+
+    /// Creates a state vector from raw amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the number of amplitudes is not `d^width`.
+    pub fn from_amplitudes(dimension: Dimension, width: usize, amplitudes: Vec<Complex>) -> Result<Self> {
+        let expected = dimension.register_size(width);
+        if amplitudes.len() != expected {
+            return Err(QuditError::MatrixShapeMismatch { found: amplitudes.len(), expected });
+        }
+        Ok(StateVector { dimension, width, amplitudes })
+    }
+
+    /// The qudit dimension.
+    pub fn dimension(&self) -> Dimension {
+        self.dimension
+    }
+
+    /// The number of qudits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The raw amplitudes in basis-index order.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// The amplitude of a basis state.
+    pub fn amplitude(&self, digits: &[u32]) -> Complex {
+        self.amplitudes[digits_to_index(digits, self.dimension)]
+    }
+
+    /// The probability of measuring a basis state.
+    pub fn probability(&self, digits: &[u32]) -> f64 {
+        self.amplitude(digits).norm_sqr()
+    }
+
+    /// The squared norm of the state (should be 1 for a physical state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different sizes.
+    pub fn inner_product(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.amplitudes.len(), other.amplitudes.len(), "state sizes must match");
+        self.amplitudes
+            .iter()
+            .zip(other.amplitudes.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// The fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Applies a single gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the gate refers to qudits outside the register.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<()> {
+        gate.validate(self.dimension, self.width)?;
+        if gate.is_classical() {
+            self.apply_classical(gate)
+        } else {
+            self.apply_unitary(gate)
+        }
+    }
+
+    fn apply_classical(&mut self, gate: &Gate) -> Result<()> {
+        let size = self.amplitudes.len();
+        let mut next = vec![Complex::ZERO; size];
+        for (index, amp) in self.amplitudes.iter().enumerate() {
+            if *amp == Complex::ZERO {
+                continue;
+            }
+            let mut digits = index_to_digits(index, self.dimension, self.width);
+            gate.apply_to_basis(&mut digits, self.dimension)?;
+            next[digits_to_index(&digits, self.dimension)] += *amp;
+        }
+        self.amplitudes = next;
+        Ok(())
+    }
+
+    fn apply_unitary(&mut self, gate: &Gate) -> Result<()> {
+        let matrix = match gate.op() {
+            GateOp::Single(SingleQuditOp::Unitary(m)) => m.clone(),
+            GateOp::Single(op) => op.to_matrix(self.dimension),
+            GateOp::AddFrom { .. } => unreachable!("AddFrom gates are classical"),
+        };
+        let d = self.dimension.as_usize();
+        let size = self.amplitudes.len();
+        let target = gate.target().index();
+        // Stride of the target digit in the mixed-radix index.
+        let stride = d.pow((self.width - 1 - target) as u32);
+        let mut next = self.amplitudes.clone();
+        for index in 0..size {
+            let digits = index_to_digits(index, self.dimension, self.width);
+            if !gate.fires(&digits) {
+                continue;
+            }
+            let t_digit = digits[target] as usize;
+            if t_digit != 0 {
+                continue; // Handle each target block once, starting from digit 0.
+            }
+            // Mix the d amplitudes that differ only in the target digit.
+            let mut column = vec![Complex::ZERO; d];
+            for (j, slot) in column.iter_mut().enumerate() {
+                *slot = self.amplitudes[index + j * stride];
+            }
+            for i in 0..d {
+                let mut acc = Complex::ZERO;
+                for (j, value) in column.iter().enumerate() {
+                    acc += matrix[(i, j)] * *value;
+                }
+                next[index + i * stride] = acc;
+            }
+        }
+        self.amplitudes = next;
+        Ok(())
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit does not match the register or a
+    /// gate is invalid.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<()> {
+        if circuit.dimension() != self.dimension {
+            return Err(QuditError::IncompatibleCircuits {
+                reason: "circuit and state dimensions differ".to_string(),
+            });
+        }
+        if circuit.width() > self.width {
+            return Err(QuditError::IncompatibleCircuits {
+                reason: "circuit is wider than the state register".to_string(),
+            });
+        }
+        for gate in circuit.gates() {
+            self.apply_gate(gate)?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the full unitary matrix implemented by a circuit.
+///
+/// The matrix has size `d^width`; only use this for small registers.
+///
+/// # Errors
+///
+/// Returns an error when a gate of the circuit is invalid.
+pub fn circuit_unitary(circuit: &Circuit) -> Result<SquareMatrix> {
+    let dimension = circuit.dimension();
+    let width = circuit.width();
+    let size = dimension.register_size(width);
+    let mut matrix = SquareMatrix::zeros(size);
+    for column in 0..size {
+        let digits = index_to_digits(column, dimension, width);
+        let mut state = StateVector::from_basis(dimension, &digits)?;
+        state.apply_circuit(circuit)?;
+        for (row, amp) in state.amplitudes().iter().enumerate() {
+            matrix[(row, column)] = *amp;
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::math::MATRIX_TOLERANCE;
+    use qudit_core::{Control, QuditId};
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn classical_gates_move_basis_states() {
+        let d = dim(3);
+        let mut state = StateVector::from_basis(d, &[0, 2]).unwrap();
+        let gate = Gate::controlled(
+            SingleQuditOp::Add(1),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        state.apply_gate(&gate).unwrap();
+        assert!((state.probability(&[0, 0]) - 1.0).abs() < 1e-12);
+        assert!((state.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_gates_create_superpositions() {
+        let d = dim(3);
+        // A qutrit "Hadamard-like" unitary: the Fourier matrix.
+        let omega = Complex::from_phase(2.0 * std::f64::consts::PI / 3.0);
+        let s = 1.0 / 3.0f64.sqrt();
+        let mut entries = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let mut w = Complex::ONE;
+                for _ in 0..(r * c) {
+                    w *= omega;
+                }
+                entries.push(w.scale(s));
+            }
+        }
+        let fourier = SquareMatrix::from_rows(3, entries).unwrap();
+        assert!(fourier.is_unitary(MATRIX_TOLERANCE));
+        let gate = Gate::single(SingleQuditOp::Unitary(fourier), QuditId::new(0));
+        let mut state = StateVector::new(d, 1);
+        state.apply_gate(&gate).unwrap();
+        for level in 0..3 {
+            assert!((state.probability(&[level]) - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controlled_unitary_only_fires_on_matching_control() {
+        let d = dim(3);
+        let x01 = SingleQuditOp::Swap(0, 1).to_matrix(d);
+        let gate = Gate::controlled(
+            SingleQuditOp::Unitary(x01),
+            QuditId::new(1),
+            vec![Control::level(QuditId::new(0), 1)],
+        );
+        let mut fired = StateVector::from_basis(d, &[1, 0]).unwrap();
+        fired.apply_gate(&gate).unwrap();
+        assert!((fired.probability(&[1, 1]) - 1.0).abs() < 1e-12);
+        let mut idle = StateVector::from_basis(d, &[2, 0]).unwrap();
+        idle.apply_gate(&gate).unwrap();
+        assert!((idle.probability(&[2, 0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_unitary_matches_permutation_for_classical_circuits() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 2);
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Swap(0, 2),
+                QuditId::new(1),
+                vec![Control::level(QuditId::new(0), 1)],
+            ))
+            .unwrap();
+        let unitary = circuit_unitary(&circuit).unwrap();
+        assert!(unitary.is_unitary(MATRIX_TOLERANCE));
+        let table = crate::permutation_sim::circuit_permutation(&circuit).unwrap();
+        let expected = SquareMatrix::from_permutation(&table).unwrap();
+        assert!(unitary.approx_eq(&expected, MATRIX_TOLERANCE));
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let d = dim(3);
+        let a = StateVector::from_basis(d, &[0, 1]).unwrap();
+        let b = StateVector::from_basis(d, &[0, 1]).unwrap();
+        let c = StateVector::from_basis(d, &[1, 1]).unwrap();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        assert!(a.fidelity(&c) < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_validates_length() {
+        let d = dim(3);
+        assert!(StateVector::from_amplitudes(d, 2, vec![Complex::ZERO; 8]).is_err());
+        assert!(StateVector::from_amplitudes(d, 2, vec![Complex::ZERO; 9]).is_ok());
+    }
+}

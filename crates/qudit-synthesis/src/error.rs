@@ -1,0 +1,106 @@
+//! Error type for the synthesis crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use qudit_core::QuditError;
+
+/// Errors produced while synthesising multi-controlled qudit gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// An error bubbled up from the core circuit substrate.
+    Core(QuditError),
+    /// The synthesis algorithms require qudit dimension `d ≥ 3`.
+    DimensionTooSmall {
+        /// The rejected dimension.
+        dimension: u32,
+        /// The smallest supported dimension.
+        minimum: u32,
+    },
+    /// For even dimensions the k-Toffoli requires one borrowed ancilla
+    /// (see the parity argument after Theorem III.2), but none was available.
+    BorrowedAncillaRequired {
+        /// The (even) dimension for which the ancilla is required.
+        dimension: u32,
+    },
+    /// A construction that only accepts classical (permutation) target
+    /// operations was given a general unitary.
+    NotClassicalTarget,
+    /// A gate could not be lowered to elementary gates.
+    Lowering {
+        /// Human readable description of the unsupported gate.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Core(e) => write!(f, "{e}"),
+            SynthesisError::DimensionTooSmall { dimension, minimum } => {
+                write!(f, "qudit dimension {dimension} is too small; the synthesis requires d ≥ {minimum}")
+            }
+            SynthesisError::BorrowedAncillaRequired { dimension } => {
+                write!(
+                    f,
+                    "even dimension d = {dimension} requires one borrowed ancilla qudit for the multi-controlled Toffoli"
+                )
+            }
+            SynthesisError::NotClassicalTarget => {
+                write!(f, "target operation must be a classical level permutation for this construction")
+            }
+            SynthesisError::Lowering { reason } => write!(f, "cannot lower gate: {reason}"),
+        }
+    }
+}
+
+impl StdError for SynthesisError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SynthesisError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuditError> for SynthesisError {
+    fn from(value: QuditError) -> Self {
+        SynthesisError::Core(value)
+    }
+}
+
+/// Convenience result alias for the synthesis crate.
+pub type Result<T> = std::result::Result<T, SynthesisError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let errors: Vec<SynthesisError> = vec![
+            QuditError::NotAPermutation.into(),
+            SynthesisError::DimensionTooSmall { dimension: 2, minimum: 3 },
+            SynthesisError::BorrowedAncillaRequired { dimension: 4 },
+            SynthesisError::NotClassicalTarget,
+            SynthesisError::Lowering { reason: "three controls".into() },
+        ];
+        for error in errors {
+            assert!(!error.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn core_errors_expose_a_source() {
+        let error: SynthesisError = QuditError::NotUnitary.into();
+        assert!(StdError::source(&error).is_some());
+        assert!(StdError::source(&SynthesisError::NotClassicalTarget).is_none());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthesisError>();
+    }
+}

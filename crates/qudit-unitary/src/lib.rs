@@ -1,0 +1,35 @@
+//! Exact synthesis of arbitrary `n`-qudit unitaries with a single clean
+//! ancilla — Theorem IV.1 of *Optimal Synthesis of Multi-Controlled Qudit
+//! Gates* (DAC 2023).
+//!
+//! * [`two_level`] — Givens (two-level) decomposition of arbitrary unitaries;
+//! * [`UnitarySynthesizer`] — maps each two-level factor to a multi-controlled
+//!   single-qudit gate synthesised with the paper's constructions, using one
+//!   clean ancilla in total.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::Dimension;
+//! use qudit_sim::random::random_unitary;
+//! use qudit_unitary::UnitarySynthesizer;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = Dimension::new(3)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let unitary = random_unitary(9, &mut rng);
+//! let synthesis = UnitarySynthesizer::new(d)?.synthesize(&unitary, 2)?;
+//! assert!(synthesis.resources().two_qudit_gates > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod synthesis;
+pub mod two_level;
+
+pub use synthesis::{UnitaryLayout, UnitarySynthesis, UnitarySynthesizer};
+pub use two_level::{recompose, two_level_decompose, TwoLevelUnitary};

@@ -1,0 +1,263 @@
+//! Two-level (Givens) decomposition of arbitrary unitaries.
+//!
+//! Any `D × D` unitary is a product of at most `D(D−1)/2 + D` two-level
+//! unitaries (unitaries acting non-trivially on at most two basis states).
+//! This is the classical first stage of the exact synthesis route used for
+//! Theorem IV.1.
+
+use qudit_core::math::{Complex, SquareMatrix};
+use qudit_core::{QuditError, Result};
+
+/// Numerical tolerance below which matrix entries are treated as zero.
+pub const TWO_LEVEL_TOLERANCE: f64 = 1e-12;
+
+/// A unitary acting non-trivially only on the two basis states `i < j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelUnitary {
+    /// The first (smaller) basis index.
+    pub i: usize,
+    /// The second (larger) basis index.
+    pub j: usize,
+    /// The 2×2 block `[[u_ii, u_ij], [u_ji, u_jj]]`.
+    pub block: [[Complex; 2]; 2],
+}
+
+impl TwoLevelUnitary {
+    /// Creates a two-level unitary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `i == j` or the block is not unitary.
+    pub fn new(i: usize, j: usize, block: [[Complex; 2]; 2]) -> Result<Self> {
+        if i == j {
+            return Err(QuditError::DegenerateTransposition { level: i as u32 });
+        }
+        let (i, j, block) = if i < j {
+            (i, j, block)
+        } else {
+            (j, i, [[block[1][1], block[1][0]], [block[0][1], block[0][0]]])
+        };
+        let candidate = TwoLevelUnitary { i, j, block };
+        if !candidate.block_matrix().is_unitary(1e-8) {
+            return Err(QuditError::NotUnitary);
+        }
+        Ok(candidate)
+    }
+
+    /// The 2×2 block as a matrix.
+    pub fn block_matrix(&self) -> SquareMatrix {
+        let mut m = SquareMatrix::zeros(2);
+        m[(0, 0)] = self.block[0][0];
+        m[(0, 1)] = self.block[0][1];
+        m[(1, 0)] = self.block[1][0];
+        m[(1, 1)] = self.block[1][1];
+        m
+    }
+
+    /// The adjoint (inverse) two-level unitary.
+    pub fn adjoint(&self) -> TwoLevelUnitary {
+        TwoLevelUnitary {
+            i: self.i,
+            j: self.j,
+            block: [
+                [self.block[0][0].conj(), self.block[1][0].conj()],
+                [self.block[0][1].conj(), self.block[1][1].conj()],
+            ],
+        }
+    }
+
+    /// Embeds the two-level unitary into a full `size × size` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ size`.
+    pub fn to_full(&self, size: usize) -> SquareMatrix {
+        assert!(self.j < size, "two-level indices must fit the matrix size");
+        let mut m = SquareMatrix::identity(size);
+        m[(self.i, self.i)] = self.block[0][0];
+        m[(self.i, self.j)] = self.block[0][1];
+        m[(self.j, self.i)] = self.block[1][0];
+        m[(self.j, self.j)] = self.block[1][1];
+        m
+    }
+
+    /// Returns `true` if the block is (numerically) the identity.
+    pub fn is_identity(&self) -> bool {
+        self.block[0][0].approx_eq(Complex::ONE, TWO_LEVEL_TOLERANCE)
+            && self.block[1][1].approx_eq(Complex::ONE, TWO_LEVEL_TOLERANCE)
+            && self.block[0][1].approx_eq(Complex::ZERO, TWO_LEVEL_TOLERANCE)
+            && self.block[1][0].approx_eq(Complex::ZERO, TWO_LEVEL_TOLERANCE)
+    }
+}
+
+/// Decomposes a unitary into two-level unitaries.
+///
+/// The returned factors are in **application order**: applying them
+/// first-to-last (i.e. multiplying `V_m · … · V_1` as matrices) reproduces
+/// the input unitary.
+///
+/// # Errors
+///
+/// Returns an error when the input is not unitary.
+pub fn two_level_decompose(unitary: &SquareMatrix) -> Result<Vec<TwoLevelUnitary>> {
+    if !unitary.is_unitary(1e-8) {
+        return Err(QuditError::NotUnitary);
+    }
+    let size = unitary.size();
+    let mut work = unitary.clone();
+    // Reduction factors T with T_m · … · T_1 · U = I.
+    let mut reducers: Vec<TwoLevelUnitary> = Vec::new();
+
+    for col in 0..size {
+        // Eliminate the entries below the diagonal of `col`.
+        for row in (col + 1)..size {
+            let v = work[(row, col)];
+            if v.norm() <= TWO_LEVEL_TOLERANCE {
+                continue;
+            }
+            let u = work[(col, col)];
+            let norm = (u.norm_sqr() + v.norm_sqr()).sqrt();
+            let block = [
+                [u.conj().scale(1.0 / norm), v.conj().scale(1.0 / norm)],
+                [v.scale(1.0 / norm), -u.scale(1.0 / norm)],
+            ];
+            let reducer = TwoLevelUnitary::new(col, row, block)?;
+            left_multiply(&mut work, &reducer);
+            reducers.push(reducer);
+        }
+        // Normalise the diagonal phase to 1.
+        let phase = work[(col, col)];
+        if !phase.approx_eq(Complex::ONE, TWO_LEVEL_TOLERANCE) {
+            let partner = if col + 1 < size { col + 1 } else { col - 1 };
+            let (i, j, block) = if col < partner {
+                (col, partner, [[phase.conj(), Complex::ZERO], [Complex::ZERO, Complex::ONE]])
+            } else {
+                (partner, col, [[Complex::ONE, Complex::ZERO], [Complex::ZERO, phase.conj()]])
+            };
+            let reducer = TwoLevelUnitary::new(i, j, block)?;
+            left_multiply(&mut work, &reducer);
+            reducers.push(reducer);
+        }
+    }
+
+    // U = T_1† · T_2† · … · T_m†, applied right-to-left; in application order
+    // the first factor is T_m†.
+    let factors: Vec<TwoLevelUnitary> = reducers
+        .iter()
+        .rev()
+        .map(TwoLevelUnitary::adjoint)
+        .filter(|f| !f.is_identity())
+        .collect();
+    Ok(factors)
+}
+
+/// Left-multiplies `work` by a two-level unitary in place (updates rows `i`
+/// and `j`).
+fn left_multiply(work: &mut SquareMatrix, factor: &TwoLevelUnitary) {
+    let size = work.size();
+    for col in 0..size {
+        let a = work[(factor.i, col)];
+        let b = work[(factor.j, col)];
+        work[(factor.i, col)] = factor.block[0][0] * a + factor.block[0][1] * b;
+        work[(factor.j, col)] = factor.block[1][0] * a + factor.block[1][1] * b;
+    }
+}
+
+/// Multiplies the two-level factors (in application order) back into a full
+/// matrix; used by tests and the experiment harness to validate
+/// decompositions.
+pub fn recompose(factors: &[TwoLevelUnitary], size: usize) -> SquareMatrix {
+    let mut product = SquareMatrix::identity(size);
+    for factor in factors {
+        product = &factor.to_full(size) * &product;
+    }
+    product
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fourier(size: usize) -> SquareMatrix {
+        let mut m = SquareMatrix::zeros(size);
+        let scale = 1.0 / (size as f64).sqrt();
+        for r in 0..size {
+            for c in 0..size {
+                let angle = 2.0 * std::f64::consts::PI * (r * c) as f64 / size as f64;
+                m[(r, c)] = Complex::from_phase(angle).scale(scale);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn decomposition_reproduces_the_unitary() {
+        for size in [2usize, 3, 4, 5, 9] {
+            let u = fourier(size);
+            let factors = two_level_decompose(&u).unwrap();
+            let rebuilt = recompose(&factors, size);
+            assert!(
+                rebuilt.approx_eq(&u, 1e-8),
+                "size {size}: distance {}",
+                rebuilt.distance(&u)
+            );
+            assert!(factors.len() <= size * (size - 1) / 2 + size);
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_to_nothing() {
+        let id = SquareMatrix::identity(5);
+        let factors = two_level_decompose(&id).unwrap();
+        assert!(factors.is_empty());
+    }
+
+    #[test]
+    fn permutation_matrices_decompose() {
+        let p = SquareMatrix::from_permutation(&[2, 0, 1, 3]).unwrap();
+        let factors = two_level_decompose(&p).unwrap();
+        let rebuilt = recompose(&factors, 4);
+        assert!(rebuilt.approx_eq(&p, 1e-9));
+    }
+
+    #[test]
+    fn non_unitary_inputs_are_rejected() {
+        let mut m = SquareMatrix::identity(3);
+        m[(0, 0)] = Complex::from_real(2.0);
+        assert!(two_level_decompose(&m).is_err());
+    }
+
+    #[test]
+    fn two_level_constructor_validates() {
+        let ok = TwoLevelUnitary::new(
+            0,
+            2,
+            [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+        );
+        assert!(ok.is_ok());
+        let degenerate = TwoLevelUnitary::new(
+            1,
+            1,
+            [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]],
+        );
+        assert!(degenerate.is_err());
+        let not_unitary = TwoLevelUnitary::new(
+            0,
+            1,
+            [[Complex::ONE, Complex::ONE], [Complex::ZERO, Complex::ONE]],
+        );
+        assert!(not_unitary.is_err());
+    }
+
+    #[test]
+    fn swapped_indices_are_normalised() {
+        let v = TwoLevelUnitary::new(
+            3,
+            1,
+            [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+        )
+        .unwrap();
+        assert!(v.i < v.j);
+        assert!(v.to_full(4).is_unitary(1e-9));
+    }
+}

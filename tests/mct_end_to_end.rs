@@ -1,0 +1,227 @@
+//! Cross-crate integration tests: the multi-controlled gate syntheses of
+//! `qudit-synthesis` are verified with the checkers of `qudit-sim` and
+//! compared against the baselines of `qudit-baselines`.
+
+use qudit_baselines::{exponential_mct, CleanAncillaMct};
+use qudit_core::{Dimension, Gate, QuditId, SingleQuditOp};
+use qudit_sim::equivalence::{verify_mct_exhaustive, verify_mct_sampled, MctSpec};
+use qudit_sim::{circuit_permutation, PermutationSimulator};
+use qudit_synthesis::{ControlledUnitary, KToffoli, MultiControlledGate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dim(d: u32) -> Dimension {
+    Dimension::new(d).unwrap()
+}
+
+#[test]
+fn toffoli_matches_spec_exhaustively_for_small_parameters() {
+    for (d, max_k) in [(3u32, 5usize), (4, 4), (5, 3)] {
+        for k in 1..=max_k {
+            let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
+            let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
+            let verdict = verify_mct_exhaustive(synthesis.circuit(), &spec).unwrap();
+            assert!(verdict.is_pass(), "d={d}, k={k}: {verdict:?}");
+        }
+    }
+}
+
+#[test]
+fn lowered_toffoli_matches_spec_exhaustively() {
+    // The same check after lowering all the way to G-gates.
+    for (d, k) in [(3u32, 4usize), (4, 3), (5, 2)] {
+        let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
+        let g_circuit = synthesis.g_gate_circuit().unwrap();
+        assert!(g_circuit.gates().iter().all(Gate::is_g_gate));
+        let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
+        let verdict = verify_mct_exhaustive(&g_circuit, &spec).unwrap();
+        assert!(verdict.is_pass(), "d={d}, k={k}: {verdict:?}");
+    }
+}
+
+#[test]
+fn large_toffoli_matches_spec_on_random_inputs() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for (d, k) in [(3u32, 10usize), (3, 16), (4, 10), (5, 8)] {
+        let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
+        let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
+        let verdict = verify_mct_sampled(synthesis.circuit(), &spec, 200, &mut rng).unwrap();
+        assert!(verdict.is_pass(), "d={d}, k={k}: {verdict:?}");
+    }
+}
+
+#[test]
+fn ours_and_clean_ancilla_baseline_agree_on_the_toffoli_action() {
+    // Both syntheses implement |0^k⟩-X01; compare their action on the
+    // controls+target sub-register by checking each against the same spec.
+    let d = dim(3);
+    let k = 3;
+    let ours = KToffoli::new(d, k).unwrap().synthesize().unwrap();
+    let baseline = CleanAncillaMct::new(d, k, SingleQuditOp::Swap(0, 1))
+        .unwrap()
+        .synthesize()
+        .unwrap();
+    let spec_ours = MctSpec::toffoli(ours.layout().controls.clone(), ours.layout().target);
+    let spec_baseline = MctSpec::toffoli(
+        baseline.layout().controls.clone(),
+        baseline.layout().target,
+    );
+    assert!(verify_mct_exhaustive(ours.circuit(), &spec_ours).unwrap().is_pass());
+    // The baseline only honours the clean-ancilla contract.
+    let verdict = qudit_sim::equivalence::verify_mct_with_clean_ancilla(
+        baseline.circuit(),
+        &spec_baseline,
+        baseline.layout().clean_ancillas[0],
+    );
+    // With more than one ancilla the helper only fixes one of them, so fall
+    // back to a manual check over the all-zero-ancilla subspace.
+    drop(verdict);
+    let width = baseline.layout().width;
+    let dimension = baseline.circuit().dimension();
+    for index in 0..dimension.register_size(width) {
+        let digits = qudit_sim::basis::index_to_digits(index, dimension, width);
+        if baseline.layout().clean_ancillas.iter().any(|a| digits[a.index()] != 0) {
+            continue;
+        }
+        let expected = spec_baseline.expected_output(&digits, dimension).unwrap();
+        let actual = baseline.circuit().apply_to_basis(&digits).unwrap();
+        assert_eq!(actual, expected);
+    }
+}
+
+#[test]
+fn ours_and_exponential_baseline_compute_the_same_permutation() {
+    // For odd d both constructions are ancilla-free on k+1 qudits, so their
+    // permutation tables must be identical.
+    let d = dim(3);
+    let k = 3;
+    let ours = KToffoli::new(d, k).unwrap().synthesize().unwrap();
+    let exponential = exponential_mct(d, k, 0, 1).unwrap();
+    let ours_table = circuit_permutation(ours.circuit()).unwrap();
+    let exp_table = circuit_permutation(&exponential).unwrap();
+    assert_eq!(ours_table, exp_table);
+    // And ours uses far fewer gates once k grows.
+    let ours_big = KToffoli::new(d, 8).unwrap().synthesize().unwrap();
+    let exp_big_count = qudit_baselines::exponential_gate_count(d, 8);
+    assert!((ours_big.resources().g_gates as u128) < exp_big_count);
+}
+
+#[test]
+fn multi_controlled_adds_and_swaps_compose_correctly() {
+    // Build |0^2⟩-X+1 followed by its inverse; the composition must be the
+    // identity permutation.
+    let d = dim(5);
+    let add = MultiControlledGate::new(d, 2, SingleQuditOp::Add(1))
+        .unwrap()
+        .synthesize()
+        .unwrap();
+    let sub = MultiControlledGate::new(d, 2, SingleQuditOp::Add(4))
+        .unwrap()
+        .synthesize()
+        .unwrap();
+    let mut combined = add.circuit().clone();
+    combined.append(sub.circuit()).unwrap();
+    let table = circuit_permutation(&combined).unwrap();
+    assert!(table.iter().enumerate().all(|(i, &to)| i == to));
+}
+
+#[test]
+fn controlled_unitary_full_pipeline_with_simulator() {
+    let d = dim(3);
+    let synthesis = ControlledUnitary::new(d, 2, SingleQuditOp::Swap(1, 2))
+        .unwrap()
+        .synthesize()
+        .unwrap();
+    let mut sim = PermutationSimulator::from_state(d, &[0, 0, 1, 0]).unwrap();
+    sim.run(synthesis.circuit()).unwrap();
+    // Controls are |0,0⟩ so the target swaps 1 ↔ 2 and the ancilla returns to 0.
+    assert_eq!(sim.state(), &[0, 0, 2, 0]);
+    let mut idle = PermutationSimulator::from_state(d, &[1, 0, 1, 0]).unwrap();
+    idle.run(synthesis.circuit()).unwrap();
+    assert_eq!(idle.state(), &[1, 0, 1, 0]);
+}
+
+#[test]
+fn even_dimension_toffoli_keeps_the_borrowed_ancilla_intact() {
+    let d = dim(4);
+    let synthesis = KToffoli::new(d, 3).unwrap().synthesize().unwrap();
+    let ancilla = synthesis.layout().borrowed_ancilla.expect("even d uses a borrowed ancilla");
+    let dimension = synthesis.circuit().dimension();
+    for index in 0..dimension.register_size(synthesis.layout().width) {
+        let digits = qudit_sim::basis::index_to_digits(index, dimension, synthesis.layout().width);
+        let output = synthesis.circuit().apply_to_basis(&digits).unwrap();
+        assert_eq!(
+            output[ancilla.index()],
+            digits[ancilla.index()],
+            "borrowed ancilla must be restored for every initial state"
+        );
+    }
+}
+
+#[test]
+fn resources_are_consistent_across_lowering_levels() {
+    for (d, k) in [(3u32, 6usize), (4, 5)] {
+        let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
+        let r = synthesis.resources();
+        assert_eq!(r.macro_gates, synthesis.circuit().len());
+        assert_eq!(r.elementary_gates, synthesis.elementary_circuit().unwrap().len());
+        assert_eq!(r.g_gates, synthesis.g_gate_circuit().unwrap().len());
+        assert!(r.g_gates >= r.elementary_gates);
+        assert!(r.elementary_gates >= r.macro_gates);
+    }
+}
+
+#[test]
+fn g_gate_counts_scale_linearly_not_quadratically() {
+    // For a linear count g(k) = a·k + b, the increment g(2k) − g(k) doubles
+    // when k doubles; for a quadratic count it would quadruple.  Check that
+    // the increment ratio stays close to 2.
+    for d in [3u32, 4] {
+        let g = |k: usize| KToffoli::new(dim(d), k).unwrap().synthesize().unwrap().resources().g_gates as f64;
+        let (g8, g16, g32) = (g(8), g(16), g(32));
+        let increment_ratio = (g32 - g16) / (g16 - g8);
+        assert!(
+            increment_ratio < 2.5,
+            "d={d}: increments {} and {} (ratio {increment_ratio}) suggest super-linear growth",
+            g16 - g8,
+            g32 - g16
+        );
+        // Sanity: the counts do grow with k.
+        assert!(g8 < g16 && g16 < g32);
+    }
+}
+
+#[test]
+fn target_qudit_untouched_when_any_control_is_nonzero() {
+    // Directed check of the "no action" branch for a larger register.
+    let d = dim(3);
+    let synthesis = KToffoli::new(d, 7).unwrap().synthesize().unwrap();
+    let width = synthesis.layout().width;
+    let mut rng = StdRng::seed_from_u64(4);
+    use rand::Rng;
+    for _ in 0..100 {
+        let mut digits: Vec<u32> = (0..width).map(|_| rng.gen_range(0..3)).collect();
+        // Force at least one control non-zero.
+        digits[rng.gen_range(0..7)] = rng.gen_range(1..3);
+        let output = synthesis.circuit().apply_to_basis(&digits).unwrap();
+        assert_eq!(output, digits);
+    }
+}
+
+#[test]
+fn layouts_name_distinct_qudits() {
+    for d in [3u32, 4] {
+        let synthesis = KToffoli::new(dim(d), 5).unwrap().synthesize().unwrap();
+        let layout = synthesis.layout();
+        let mut qudits: Vec<QuditId> = layout.controls.clone();
+        qudits.push(layout.target);
+        if let Some(a) = layout.borrowed_ancilla {
+            qudits.push(a);
+        }
+        let mut sorted = qudits.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), qudits.len());
+        assert_eq!(qudits.len(), layout.width);
+    }
+}
