@@ -84,7 +84,7 @@ pub fn clean_ancilla_count(dimension: Dimension, controls: usize) -> usize {
     if controls <= 1 {
         return 0;
     }
-    if controls <= d - 1 {
+    if controls < d {
         return 1;
     }
     let remaining = controls - (d - 1);
@@ -97,15 +97,26 @@ impl CleanAncillaMct {
     /// # Errors
     ///
     /// Returns an error when `d < 3` or the operation is not classical.
-    pub fn new(dimension: Dimension, controls: usize, op: SingleQuditOp) -> Result<Self, SynthesisError> {
+    pub fn new(
+        dimension: Dimension,
+        controls: usize,
+        op: SingleQuditOp,
+    ) -> Result<Self, SynthesisError> {
         if dimension.get() < 3 {
-            return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+            return Err(SynthesisError::DimensionTooSmall {
+                dimension: dimension.get(),
+                minimum: 3,
+            });
         }
         op.validate(dimension)?;
         if !op.is_classical() {
             return Err(SynthesisError::NotClassicalTarget);
         }
-        Ok(CleanAncillaMct { dimension, controls, op })
+        Ok(CleanAncillaMct {
+            dimension,
+            controls,
+            op,
+        })
     }
 
     /// The qudit dimension.
@@ -132,22 +143,34 @@ impl CleanAncillaMct {
         let controls: Vec<QuditId> = (0..k).map(QuditId::new).collect();
         let target = QuditId::new(k);
         let ancilla_count = clean_ancilla_count(dimension, k);
-        let clean_ancillas: Vec<QuditId> = (0..ancilla_count).map(|i| QuditId::new(k + 1 + i)).collect();
+        let clean_ancillas: Vec<QuditId> = (0..ancilla_count)
+            .map(|i| QuditId::new(k + 1 + i))
+            .collect();
         let width = k + 1 + ancilla_count;
         let mut circuit = Circuit::new(dimension, width);
 
         if k == 0 {
             circuit.push(Gate::single(self.op.clone(), target))?;
         } else if k == 1 {
-            circuit.push(Gate::controlled(self.op.clone(), target, vec![Control::zero(controls[0])]))?;
+            circuit.push(Gate::controlled(
+                self.op.clone(),
+                target,
+                vec![Control::zero(controls[0])],
+            ))?;
         } else {
             // Compute phase: each ancilla counts the non-zero qudits of its
             // group (previous ancilla + new controls).
             let compute = self.counter_chain(&controls, &clean_ancillas);
             circuit.extend_gates(compute.iter().cloned())?;
             // The last counter is |0⟩ exactly when all controls are |0⟩.
-            let witness = *clean_ancillas.last().expect("k >= 2 implies at least one ancilla");
-            circuit.push(Gate::controlled(self.op.clone(), target, vec![Control::zero(witness)]))?;
+            let witness = *clean_ancillas
+                .last()
+                .expect("k >= 2 implies at least one ancilla");
+            circuit.push(Gate::controlled(
+                self.op.clone(),
+                target,
+                vec![Control::zero(witness)],
+            ))?;
             // Uncompute phase: the counter chain in reverse, each gate inverted.
             circuit.extend_gates(compute.iter().rev().map(|g| g.inverse(dimension)))?;
         }
@@ -156,7 +179,12 @@ impl CleanAncillaMct {
         let resources = Resources::for_circuit(&circuit, ancillas)?;
         Ok(CleanAncillaSynthesis {
             circuit,
-            layout: CleanAncillaLayout { controls, target, clean_ancillas, width },
+            layout: CleanAncillaLayout {
+                controls,
+                target,
+                clean_ancillas,
+                width,
+            },
             resources,
         })
     }
@@ -188,7 +216,11 @@ impl CleanAncillaMct {
                 ));
             }
         }
-        debug_assert_eq!(next_control, controls.len(), "every control must be counted");
+        debug_assert_eq!(
+            next_control,
+            controls.len(),
+            "every control must be counted"
+        );
         gates
     }
 }

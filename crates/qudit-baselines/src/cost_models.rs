@@ -26,7 +26,7 @@ pub fn di_wei_cubic_count(dimension: Dimension, controls: usize) -> f64 {
 pub fn yeh_wetering_clifford_t_count(controls: usize) -> f64 {
     let k = controls as f64;
     let exponent = 12f64.log2(); // ≈ 3.585
-    // Normalised so that k = 2 costs one controlled-X01 worth of Clifford+T.
+                                 // Normalised so that k = 2 costs one controlled-X01 worth of Clifford+T.
     CliffordTCostModel::default().controlled_x01 as f64 / 2f64.powf(exponent) * k.powf(exponent)
 }
 
@@ -48,7 +48,10 @@ impl Default for CliffordTCostModel {
         // A qutrit transposition is Clifford (cost 1 gate); the controlled
         // X01 requires a constant number of Clifford+T gates in the exact
         // synthesis of [24] — 39 is used as a representative constant.
-        CliffordTCostModel { single_swap: 1, controlled_x01: 39 }
+        CliffordTCostModel {
+            single_swap: 1,
+            controlled_x01: 39,
+        }
     }
 }
 
@@ -69,7 +72,10 @@ impl CliffordTCostModel {
     ///
     /// Panics if the gate is not a G-gate.
     pub fn gate_cost(&self, gate: &Gate) -> u64 {
-        assert!(gate.is_g_gate(), "Clifford+T costs are defined for G-gates only");
+        assert!(
+            gate.is_g_gate(),
+            "Clifford+T costs are defined for G-gates only"
+        );
         match (gate.controls().len(), gate.op()) {
             (0, GateOp::Single(SingleQuditOp::Swap(_, _))) => self.single_swap,
             (1, _) => self.controlled_x01,
@@ -109,7 +115,10 @@ mod tests {
         let a = yeh_wetering_clifford_t_count(10);
         let b = yeh_wetering_clifford_t_count(20);
         let ratio = b / a;
-        assert!(ratio > 8.0 && ratio < 16.0, "ratio {ratio} should be ≈ 2^3.585 ≈ 12");
+        assert!(
+            ratio > 8.0 && ratio < 16.0,
+            "ratio {ratio} should be ≈ 2^3.585 ≈ 12"
+        );
     }
 
     #[test]
@@ -127,7 +136,10 @@ mod tests {
                 vec![Control::zero(QuditId::new(0))],
             ))
             .unwrap();
-        assert_eq!(model.circuit_cost(&circuit), model.single_swap + model.controlled_x01);
+        assert_eq!(
+            model.circuit_cost(&circuit),
+            model.single_swap + model.controlled_x01
+        );
     }
 
     #[test]

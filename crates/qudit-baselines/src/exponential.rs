@@ -39,11 +39,15 @@ pub fn exponential_mct(
     j: u32,
 ) -> Result<Circuit, SynthesisError> {
     if dimension.get() < 3 {
-        return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+        return Err(SynthesisError::DimensionTooSmall {
+            dimension: dimension.get(),
+            minimum: 3,
+        });
     }
     if dimension.is_even() {
         return Err(SynthesisError::Lowering {
-            reason: "an ancilla-free multi-controlled gate does not exist for even dimensions".to_string(),
+            reason: "an ancilla-free multi-controlled gate does not exist for even dimensions"
+                .to_string(),
         });
     }
     if controls > MAX_EXPLICIT_CONTROLS {
@@ -73,15 +77,27 @@ fn controlled_swap_recursive(
 ) -> Vec<Gate> {
     match controls.len() {
         0 => vec![Gate::single(swap.clone(), target)],
-        1 => vec![Gate::controlled(swap.clone(), target, vec![Control::zero(controls[0])])],
+        1 => vec![Gate::controlled(
+            swap.clone(),
+            target,
+            vec![Control::zero(controls[0])],
+        )],
         k => {
             let last = controls[k - 1];
             let rest = &controls[..k - 1];
             let mut gates = controlled_swap_recursive(dimension, rest, target, swap);
             gates.extend(controlled_shift_recursive(dimension, rest, last, false));
-            gates.push(Gate::controlled(swap.clone(), target, vec![Control::even_nonzero(last)]));
+            gates.push(Gate::controlled(
+                swap.clone(),
+                target,
+                vec![Control::even_nonzero(last)],
+            ));
             gates.extend(controlled_shift_recursive(dimension, rest, last, true));
-            gates.push(Gate::controlled(swap.clone(), target, vec![Control::even_nonzero(last)]));
+            gates.push(Gate::controlled(
+                swap.clone(),
+                target,
+                vec![Control::even_nonzero(last)],
+            ));
             gates
         }
     }
@@ -102,7 +118,11 @@ fn controlled_shift_recursive(
     };
     match controls.len() {
         0 => vec![Gate::single(op, target)],
-        1 => vec![Gate::controlled(op, target, vec![Control::zero(controls[0])])],
+        1 => vec![Gate::controlled(
+            op,
+            target,
+            vec![Control::zero(controls[0])],
+        )],
         _ => {
             let transpositions = op
                 .transpositions(dimension)
@@ -110,7 +130,9 @@ fn controlled_shift_recursive(
             let mut gates = Vec::new();
             for (a, b) in transpositions {
                 let swap = SingleQuditOp::Swap(a, b);
-                gates.extend(controlled_swap_recursive(dimension, controls, target, &swap));
+                gates.extend(controlled_swap_recursive(
+                    dimension, controls, target, &swap,
+                ));
             }
             gates
         }
@@ -178,7 +200,11 @@ mod tests {
                         other => other,
                     };
                 }
-                assert_eq!(circuit.apply_to_basis(&state).unwrap(), expected, "k={k}, {state:?}");
+                assert_eq!(
+                    circuit.apply_to_basis(&state).unwrap(),
+                    expected,
+                    "k={k}, {state:?}"
+                );
             }
         }
     }
@@ -203,16 +229,25 @@ mod tests {
     #[test]
     fn gate_count_grows_exponentially() {
         let dimension = dim(3);
-        let counts: Vec<u128> = (1..=10).map(|k| exponential_gate_count(dimension, k)).collect();
+        let counts: Vec<u128> = (1..=10)
+            .map(|k| exponential_gate_count(dimension, k))
+            .collect();
         // Ratio between consecutive counts approaches 2d − 1 = 5.
         for window in counts.windows(2).skip(2) {
             let ratio = window[1] as f64 / window[0] as f64;
-            assert!(ratio > 3.0, "expected exponential growth, got ratio {ratio}");
+            assert!(
+                ratio > 3.0,
+                "expected exponential growth, got ratio {ratio}"
+            );
         }
         // The explicit circuit matches the recurrence.
         for k in 1..=4usize {
             let circuit = exponential_mct(dimension, k, 0, 1).unwrap();
-            assert_eq!(circuit.len() as u128, exponential_gate_count(dimension, k), "k={k}");
+            assert_eq!(
+                circuit.len() as u128,
+                exponential_gate_count(dimension, k),
+                "k={k}"
+            );
         }
     }
 

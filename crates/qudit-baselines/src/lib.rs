@@ -36,7 +36,9 @@ pub mod clean_ancilla;
 pub mod cost_models;
 pub mod exponential;
 
-pub use clean_ancilla::{clean_ancilla_count, CleanAncillaLayout, CleanAncillaMct, CleanAncillaSynthesis};
+pub use clean_ancilla::{
+    clean_ancilla_count, CleanAncillaLayout, CleanAncillaMct, CleanAncillaSynthesis,
+};
 pub use cost_models::{
     crossover_point, di_wei_cubic_count, yeh_wetering_clifford_t_count, CliffordTCostModel,
 };

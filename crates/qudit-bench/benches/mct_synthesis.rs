@@ -58,5 +58,10 @@ fn bench_lowering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ours_synthesis, bench_baseline_synthesis, bench_lowering);
+criterion_group!(
+    benches,
+    bench_ours_synthesis,
+    bench_baseline_synthesis,
+    bench_lowering
+);
 criterion_main!(benches);

@@ -14,11 +14,15 @@ fn bench_reversible_compile(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(11);
         let function = ReversibleFunction::random(dimension, n, &mut rng);
         let synthesizer = ReversibleSynthesizer::new(dimension).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new(format!("d{d}"), n),
-            &n,
-            |b, _| b.iter(|| synthesizer.synthesize(&function).unwrap().resources().g_gates),
-        );
+        group.bench_with_input(BenchmarkId::new(format!("d{d}"), n), &n, |b, _| {
+            b.iter(|| {
+                synthesizer
+                    .synthesize(&function)
+                    .unwrap()
+                    .resources()
+                    .g_gates
+            })
+        });
     }
     group.finish();
 }
@@ -32,5 +36,9 @@ fn bench_two_cycle_decomposition(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_reversible_compile, bench_two_cycle_decomposition);
+criterion_group!(
+    benches,
+    bench_reversible_compile,
+    bench_two_cycle_decomposition
+);
 criterion_main!(benches);

@@ -13,17 +13,13 @@ fn bench_permutation_simulation(c: &mut Criterion) {
     for &k in &[4usize, 8] {
         let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
         let circuit = synthesis.g_gate_circuit().unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("g_circuit_single_input", k),
-            &k,
-            |b, _| {
-                b.iter(|| {
-                    let mut sim = PermutationSimulator::new(dimension, circuit.width());
-                    sim.run(&circuit).unwrap();
-                    sim.state()[k]
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("g_circuit_single_input", k), &k, |b, _| {
+            b.iter(|| {
+                let mut sim = PermutationSimulator::new(dimension, circuit.width());
+                sim.run(&circuit).unwrap();
+                sim.state()[k]
+            })
+        });
     }
     group.finish();
 }
@@ -45,5 +41,26 @@ fn bench_statevector_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_permutation_simulation, bench_statevector_simulation);
+fn bench_circuit_unitary(c: &mut Criterion) {
+    // Dense workload: the full-unitary extraction used by the equivalence
+    // checkers applies the circuit to every basis state.
+    let mut group = c.benchmark_group("circuit_unitary");
+    group.sample_size(10);
+    let dimension = Dimension::new(3).unwrap();
+    for &k in &[2usize, 3] {
+        let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
+        let circuit = synthesis.g_gate_circuit().unwrap();
+        group.bench_with_input(BenchmarkId::new("g_circuit", k), &k, |b, _| {
+            b.iter(|| qudit_sim::circuit_unitary(&circuit).unwrap().size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_permutation_simulation,
+    bench_statevector_simulation,
+    bench_circuit_unitary
+);
 criterion_main!(benches);

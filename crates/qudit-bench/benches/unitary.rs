@@ -28,11 +28,21 @@ fn bench_unitary_synthesis(c: &mut Criterion) {
         let unitary = random_unitary(dimension.register_size(n), &mut rng);
         let synthesizer = UnitarySynthesizer::new(dimension).unwrap();
         group.bench_with_input(BenchmarkId::new(format!("d{d}"), n), &n, |b, &n| {
-            b.iter(|| synthesizer.synthesize(&unitary, n).unwrap().resources().two_qudit_gates)
+            b.iter(|| {
+                synthesizer
+                    .synthesize(&unitary, n)
+                    .unwrap()
+                    .resources()
+                    .two_qudit_gates
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_two_level_decomposition, bench_unitary_synthesis);
+criterion_group!(
+    benches,
+    bench_two_level_decomposition,
+    bench_unitary_synthesis
+);
 criterion_main!(benches);

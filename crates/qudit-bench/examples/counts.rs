@@ -7,7 +7,10 @@ use qudit_core::Dimension;
 use qudit_synthesis::KToffoli;
 
 fn main() {
-    println!("{:>3} {:>4} {:>12} {:>12} {:>14}", "d", "k", "macro gates", "G-gates", "G-gates per k");
+    println!(
+        "{:>3} {:>4} {:>12} {:>12} {:>14}",
+        "d", "k", "macro gates", "G-gates", "G-gates per k"
+    );
     for d in [3u32, 4, 5] {
         for k in [4usize, 8, 16, 32, 64] {
             let synthesis = KToffoli::new(Dimension::new(d).unwrap(), k)

@@ -7,16 +7,16 @@
 //! ```
 //!
 //! * `--quick` — small parameter ranges (seconds instead of minutes);
-//! * `--exp <id>` — print a single experiment (`e1` … `e10`, `e3a`, `figs`,
+//! * `--exp <id>` — print a single experiment (`e1` … `e11`, `e3a`, `figs`,
 //!   `diagrams`); without the flag the full report is printed.
 
 use std::env;
 use std::process::ExitCode;
 
 use qudit_bench::experiments::{
-    e10_peephole, e1_comparison, e2_gadgets, e3_ablation, e3_linear_scaling, e4_ancillas,
-    e5_controlled_unitary, e6_unitary_synthesis, e7_reversible, e8_clifford_t, e9_lower_bound,
-    figure_diagrams, figure_verification, full_report, Scale,
+    e10_peephole, e11_pipeline, e1_comparison, e2_gadgets, e3_ablation, e3_linear_scaling,
+    e4_ancillas, e5_controlled_unitary, e6_unitary_synthesis, e7_reversible, e8_clifford_t,
+    e9_lower_bound, figure_diagrams, figure_verification, full_report, Scale,
 };
 
 fn main() -> ExitCode {
@@ -45,11 +45,12 @@ fn main() -> ExitCode {
         Some("e8") => print!("{}", e8_clifford_t(scale)),
         Some("e9") => print!("{}", e9_lower_bound(scale)),
         Some("e10") => print!("{}", e10_peephole(scale)),
+        Some("e11") => print!("{}", e11_pipeline(scale)),
         Some("figs") => print!("{}", figure_verification()),
         Some("diagrams") => print!("{}", figure_diagrams()),
         Some(other) => {
             eprintln!("unknown experiment id: {other}");
-            eprintln!("known ids: e1 e2 e3 e3a e4 e5 e6 e7 e8 e9 e10 figs diagrams");
+            eprintln!("known ids: e1 e2 e3 e3a e4 e5 e6 e7 e8 e9 e10 e11 figs diagrams");
             return ExitCode::FAILURE;
         }
     }

@@ -4,18 +4,17 @@
 //! Each function returns a [`Table`] so that the `experiments` binary, the
 //! integration tests and EXPERIMENTS.md all draw from the same code.
 
-use qudit_core::{Dimension, QuditId, SingleQuditOp};
-use qudit_sim::equivalence::{verify_mct_exhaustive, MctSpec};
-use qudit_sim::random::random_unitary;
-use qudit_synthesis::lower::lower_to_g_gates;
-use qudit_synthesis::{
-    gadgets, ladders, ControlledUnitary, KToffoli, MultiControlledGate,
-};
 use qudit_baselines::{
     clean_ancilla_count, di_wei_cubic_count, exponential_gate_count, yeh_wetering_clifford_t_count,
     CleanAncillaMct, CliffordTCostModel,
 };
+use qudit_core::{Dimension, QuditId, SingleQuditOp};
 use qudit_reversible::{lower_bound, ReversibleFunction, ReversibleSynthesizer};
+use qudit_sim::equivalence::{verify_mct_exhaustive, MctSpec};
+use qudit_sim::random::random_unitary;
+use qudit_synthesis::{
+    gadgets, ladders, ControlledUnitary, KToffoli, MultiControlledGate, Pipeline,
+};
 use qudit_unitary::UnitarySynthesizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -123,7 +122,14 @@ pub fn e1_comparison(scale: Scale) -> Table {
 pub fn e2_gadgets(scale: Scale) -> Table {
     let mut table = Table::new(
         "E2 — 2-Toffoli gadgets (Fig. 2 even d, Fig. 5 odd d)",
-        &["d", "figure", "elementary gates", "G-gates", "borrowed ancillas", "verified"],
+        &[
+            "d",
+            "figure",
+            "elementary gates",
+            "G-gates",
+            "borrowed ancillas",
+            "verified",
+        ],
     );
     let max_d = match scale {
         Scale::Quick => 6,
@@ -167,7 +173,9 @@ pub fn e2_gadgets(scale: Scale) -> Table {
         circuit.extend_gates(gates).unwrap();
         let spec = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(1)], QuditId::new(2));
         let verified = verify_mct_exhaustive(&circuit, &spec).unwrap().is_pass();
-        let g = lower_to_g_gates(&circuit).unwrap();
+        let g = Pipeline::lowering(dimension, width)
+            .run_circuit(circuit.clone())
+            .unwrap();
         table.push_row(vec![
             d.to_string(),
             figure.to_string(),
@@ -185,7 +193,15 @@ pub fn e2_gadgets(scale: Scale) -> Table {
 pub fn e3_linear_scaling(scale: Scale) -> Table {
     let mut table = Table::new(
         "E3 — k-Toffoli G-gate count vs. k (linear in k)",
-        &["d", "k", "macro gates", "elementary gates", "G-gates", "depth", "G-gates / k"],
+        &[
+            "d",
+            "k",
+            "macro gates",
+            "elementary gates",
+            "G-gates",
+            "depth",
+            "G-gates / k",
+        ],
     );
     for &d in &scale.dimensions() {
         for &k in &scale.k_sweep() {
@@ -212,7 +228,14 @@ pub fn e3_linear_scaling(scale: Scale) -> Table {
 pub fn e10_peephole(scale: Scale) -> Table {
     let mut table = Table::new(
         "E10 — peephole optimisation of the lowered k-Toffoli circuits",
-        &["d", "k", "G-gates", "after cancellation", "removed %", "verified"],
+        &[
+            "d",
+            "k",
+            "G-gates",
+            "after cancellation",
+            "removed %",
+            "verified",
+        ],
     );
     let ks: Vec<usize> = match scale {
         Scale::Quick => vec![3, 4, 6],
@@ -221,28 +244,80 @@ pub fn e10_peephole(scale: Scale) -> Table {
     for &d in &[3u32, 4] {
         for &k in &ks {
             let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
-            let g_circuit = synthesis.g_gate_circuit().unwrap();
-            let optimized = qudit_core::optimize::cancel_inverse_pairs(&g_circuit);
+            // The full standard pipeline; the cancellation stage's statistics
+            // give the before/after G-gate counts directly.
+            let report = synthesis.compile().unwrap();
+            let cancel = report
+                .stats_for("cancel-inverse-pairs")
+                .expect("standard pipeline ends with cancellation");
+            let (g_gates, optimized_gates) = (cancel.before.gates, cancel.after.gates);
             // Verify that the optimised circuit still implements the Toffoli
             // (sampled for larger registers, exhaustive for small ones).
-            let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
+            let spec = MctSpec::toffoli(
+                synthesis.layout().controls.clone(),
+                synthesis.layout().target,
+            );
             let verified = if dim(d).register_size(synthesis.layout().width) <= 4096 {
-                verify_mct_exhaustive(&optimized, &spec).unwrap().is_pass()
+                verify_mct_exhaustive(&report.circuit, &spec)
+                    .unwrap()
+                    .is_pass()
             } else {
                 let mut rng = StdRng::seed_from_u64(5);
-                qudit_sim::equivalence::verify_mct_sampled(&optimized, &spec, 100, &mut rng)
+                qudit_sim::equivalence::verify_mct_sampled(&report.circuit, &spec, 100, &mut rng)
                     .unwrap()
                     .is_pass()
             };
-            let removed = g_circuit.len() - optimized.len();
+            let removed = g_gates - optimized_gates;
             table.push_row(vec![
                 d.to_string(),
                 k.to_string(),
-                g_circuit.len().to_string(),
-                optimized.len().to_string(),
-                fmt_f64(100.0 * removed as f64 / g_circuit.len() as f64),
+                g_gates.to_string(),
+                optimized_gates.to_string(),
+                fmt_f64(100.0 * removed as f64 / g_gates as f64),
                 verified.to_string(),
             ]);
+        }
+    }
+    table
+}
+
+/// E11 — the compilation pipeline itself: per-pass statistics (gate counts,
+/// depth, wall time) of `Pipeline::standard` on the k-Toffoli circuits, as
+/// recorded by the `PassManager`.
+pub fn e11_pipeline(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E11 — standard pipeline per-pass statistics (macro -> elementary -> G -> optimised)",
+        &[
+            "d",
+            "k",
+            "pass",
+            "gates in",
+            "gates out",
+            "depth in",
+            "depth out",
+            "elapsed µs",
+        ],
+    );
+    let ks: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 8],
+        Scale::Full => vec![4, 8, 16, 32],
+    };
+    for &d in &[3u32, 4] {
+        for &k in &ks {
+            let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
+            let report = synthesis.compile().unwrap();
+            for stats in &report.stats {
+                table.push_row(vec![
+                    d.to_string(),
+                    k.to_string(),
+                    stats.pass.clone(),
+                    stats.before.gates.to_string(),
+                    stats.after.gates.to_string(),
+                    stats.before.depth.to_string(),
+                    stats.after.depth.to_string(),
+                    fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
+                ]);
+            }
         }
     }
     table
@@ -290,13 +365,19 @@ pub fn figure_diagrams() -> String {
     out.push_str("Fig. 2 — |00⟩-X01 for even d (d = 4), one borrowed ancilla a:\n\n");
     out.push_str(&qudit_core::diagram::render_with_labels(
         &circuit,
-        &["x1".to_string(), "x2".to_string(), " t".to_string(), " a".to_string()],
+        &[
+            "x1".to_string(),
+            "x2".to_string(),
+            " t".to_string(),
+            " a".to_string(),
+        ],
     ));
     out.push('\n');
 
     // Fig. 7: the increment ladder for k = 4 (macro-gate level).
-    let controls: Vec<qudit_core::Control> =
-        (0..4).map(|i| qudit_core::Control::zero(QuditId::new(i))).collect();
+    let controls: Vec<qudit_core::Control> = (0..4)
+        .map(|i| qudit_core::Control::zero(QuditId::new(i)))
+        .collect();
     let fig7 = ladders::add_one_ladder_odd(
         d3,
         &controls,
@@ -306,7 +387,9 @@ pub fn figure_diagrams() -> String {
     .unwrap();
     let mut circuit = qudit_core::Circuit::new(d3, 7);
     circuit.extend_gates(fig7).unwrap();
-    out.push_str("Fig. 7 — |0^4⟩-X+1 ladder (d = 3), macro-gate level, borrowed ancillas a1, a2:\n\n");
+    out.push_str(
+        "Fig. 7 — |0^4⟩-X+1 ladder (d = 3), macro-gate level, borrowed ancillas a1, a2:\n\n",
+    );
     out.push_str(&qudit_core::diagram::render_with_labels(
         &circuit,
         &[
@@ -329,7 +412,13 @@ pub fn figure_diagrams() -> String {
 pub fn e3_ablation(scale: Scale) -> Table {
     let mut table = Table::new(
         "E3a — ablation: many-borrowed-ancilla ladders vs. one/zero-ancilla constructions",
-        &["d", "k", "ladder G-gates (k−2 borrowed)", "theorem G-gates (≤1 borrowed)", "overhead ×"],
+        &[
+            "d",
+            "k",
+            "ladder G-gates (k−2 borrowed)",
+            "theorem G-gates (≤1 borrowed)",
+            "overhead ×",
+        ],
     );
     let ks: Vec<usize> = match scale {
         Scale::Quick => vec![4, 6, 8],
@@ -339,8 +428,9 @@ pub fn e3_ablation(scale: Scale) -> Table {
         let dimension = dim(d);
         for &k in &ks {
             // Ladder version: |0^k⟩ target op with k−2 borrowed ancillas.
-            let controls: Vec<qudit_core::Control> =
-                (0..k).map(|i| qudit_core::Control::zero(QuditId::new(i))).collect();
+            let controls: Vec<qudit_core::Control> = (0..k)
+                .map(|i| qudit_core::Control::zero(QuditId::new(i)))
+                .collect();
             let target = QuditId::new(k);
             let borrowed: Vec<QuditId> = (k + 1..2 * k - 1).map(QuditId::new).collect();
             let width = 2 * k - 1;
@@ -358,7 +448,10 @@ pub fn e3_ablation(scale: Scale) -> Table {
             };
             let mut ladder_circuit = qudit_core::Circuit::new(dimension, width);
             ladder_circuit.extend_gates(ladder_gates).unwrap();
-            let ladder_g = lower_to_g_gates(&ladder_circuit).unwrap().len();
+            let ladder_g = Pipeline::lowering(dimension, width)
+                .run_circuit(ladder_circuit)
+                .unwrap()
+                .len();
 
             // Theorem version (note: for odd d the ladder implements X+1 and
             // the theorem implements X01; both are single multi-controlled
@@ -382,7 +475,13 @@ pub fn e3_ablation(scale: Scale) -> Table {
 pub fn e4_ancillas(scale: Scale) -> Table {
     let mut table = Table::new(
         "E4 — ancilla count comparison",
-        &["d", "k", "ours borrowed", "ours clean", "baseline clean [5,23]"],
+        &[
+            "d",
+            "k",
+            "ours borrowed",
+            "ours clean",
+            "baseline clean [5,23]",
+        ],
     );
     for &d in &scale.dimensions() {
         for &k in &scale.k_values() {
@@ -404,7 +503,13 @@ pub fn e4_ancillas(scale: Scale) -> Table {
 pub fn e5_controlled_unitary(scale: Scale) -> Table {
     let mut table = Table::new(
         "E5 — |0^k⟩-U with one clean ancilla (Fig. 1b)",
-        &["d", "k", "two-qudit gates", "G-gates (classical part)", "clean ancillas"],
+        &[
+            "d",
+            "k",
+            "two-qudit gates",
+            "G-gates (classical part)",
+            "clean ancillas",
+        ],
     );
     let ks: Vec<usize> = match scale {
         Scale::Quick => vec![2, 4, 8],
@@ -454,10 +559,17 @@ pub fn e6_unitary_synthesis(scale: Scale) -> Table {
         let dimension = dim(d);
         let size = dimension.register_size(n);
         let unitary = random_unitary(size, &mut rng);
-        let synthesis = UnitarySynthesizer::new(dimension).unwrap().synthesize(&unitary, n).unwrap();
+        let synthesis = UnitarySynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&unitary, n)
+            .unwrap();
         let optimum = (d as f64).powi(2 * n as i32);
         let two_qudit = synthesis.resources().two_qudit_gates;
-        let baseline_ancillas = if n >= 2 { (n - 2).div_ceil((d - 2) as usize).max(usize::from(n > 2)) } else { 0 };
+        let baseline_ancillas = if n >= 2 {
+            (n - 2).div_ceil((d - 2) as usize).max(usize::from(n > 2))
+        } else {
+            0
+        };
         table.push_row(vec![
             d.to_string(),
             n.to_string(),
@@ -477,7 +589,15 @@ pub fn e6_unitary_synthesis(scale: Scale) -> Table {
 pub fn e7_reversible(scale: Scale) -> Table {
     let mut table = Table::new(
         "E7 — d-ary reversible functions (Theorem IV.2)",
-        &["d", "n", "2-cycles", "G-gates", "n·d^n", "ratio", "ancillas (borrowed)"],
+        &[
+            "d",
+            "n",
+            "2-cycles",
+            "G-gates",
+            "n·d^n",
+            "ratio",
+            "ancillas (borrowed)",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(42);
     let configs: Vec<(u32, usize)> = match scale {
@@ -487,7 +607,10 @@ pub fn e7_reversible(scale: Scale) -> Table {
     for (d, n) in configs {
         let dimension = dim(d);
         let function = ReversibleFunction::random(dimension, n, &mut rng);
-        let synthesis = ReversibleSynthesizer::new(dimension).unwrap().synthesize(&function).unwrap();
+        let synthesis = ReversibleSynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&function)
+            .unwrap();
         let target = n as f64 * (d as f64).powi(n as i32);
         table.push_row(vec![
             d.to_string(),
@@ -507,7 +630,12 @@ pub fn e7_reversible(scale: Scale) -> Table {
 pub fn e8_clifford_t(scale: Scale) -> Table {
     let mut table = Table::new(
         "E8 — qutrit Clifford+T count: ours (linear) vs. Yeh & van de Wetering (k^3.585)",
-        &["k", "ours Clifford+T", "Yeh&vdW model", "ratio (model / ours)"],
+        &[
+            "k",
+            "ours Clifford+T",
+            "Yeh&vdW model",
+            "ratio (model / ours)",
+        ],
     );
     let model = CliffordTCostModel::default();
     let ks: Vec<usize> = match scale {
@@ -537,7 +665,13 @@ pub fn e8_clifford_t(scale: Scale) -> Table {
 pub fn e9_lower_bound(scale: Scale) -> Table {
     let mut table = Table::new(
         "E9 — reversible functions: counting lower bound vs. measured",
-        &["d", "n", "lower bound (G-gates)", "measured G-gates", "measured / bound"],
+        &[
+            "d",
+            "n",
+            "lower bound (G-gates)",
+            "measured G-gates",
+            "measured / bound",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(7);
     let configs: Vec<(u32, usize)> = match scale {
@@ -573,7 +707,12 @@ pub fn figure_verification() -> Table {
         &["figure", "construction", "parameters", "verified"],
     );
     let push = |table: &mut Table, fig: &str, what: &str, params: &str, ok: bool| {
-        table.push_row(vec![fig.to_string(), what.to_string(), params.to_string(), ok.to_string()]);
+        table.push_row(vec![
+            fig.to_string(),
+            what.to_string(),
+            params.to_string(),
+            ok.to_string(),
+        ]);
     };
 
     // Fig. 2: even-d 2-Toffoli with one borrowed ancilla.
@@ -597,14 +736,31 @@ pub fn figure_verification() -> Table {
         )
         .unwrap()
         .is_pass();
-        push(&mut table, "Fig. 2", "|00⟩-X01, even d, 1 borrowed ancilla", "d=4", ok);
+        push(
+            &mut table,
+            "Fig. 2",
+            "|00⟩-X01, even d, 1 borrowed ancilla",
+            "d=4",
+            ok,
+        );
     }
     // Fig. 3 / Fig. 4 via Theorem III.2.
     {
         let synthesis = KToffoli::new(dim(4), 4).unwrap().synthesize().unwrap();
-        let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
-        let ok = verify_mct_exhaustive(synthesis.circuit(), &spec).unwrap().is_pass();
-        push(&mut table, "Figs. 3–4", "k-Toffoli, even d, 1 borrowed ancilla (Thm III.2)", "d=4, k=4", ok);
+        let spec = MctSpec::toffoli(
+            synthesis.layout().controls.clone(),
+            synthesis.layout().target,
+        );
+        let ok = verify_mct_exhaustive(synthesis.circuit(), &spec)
+            .unwrap()
+            .is_pass();
+        push(
+            &mut table,
+            "Figs. 3–4",
+            "k-Toffoli, even d, 1 borrowed ancilla (Thm III.2)",
+            "d=4, k=4",
+            ok,
+        );
     }
     // Fig. 5: odd-d 2-Toffoli, ancilla-free.
     {
@@ -626,13 +782,20 @@ pub fn figure_verification() -> Table {
         )
         .unwrap()
         .is_pass();
-        push(&mut table, "Fig. 5", "|00⟩-X01, odd d, ancilla-free", "d=5", ok);
+        push(
+            &mut table,
+            "Fig. 5",
+            "|00⟩-X01, odd d, ancilla-free",
+            "d=5",
+            ok,
+        );
     }
     // Fig. 7: |0^k⟩-X+1 ladder.
     {
         let dimension = dim(3);
-        let controls: Vec<qudit_core::Control> =
-            (0..4).map(|i| qudit_core::Control::zero(QuditId::new(i))).collect();
+        let controls: Vec<qudit_core::Control> = (0..4)
+            .map(|i| qudit_core::Control::zero(QuditId::new(i)))
+            .collect();
         let gates = ladders::add_one_ladder_odd(
             dimension,
             &controls,
@@ -648,15 +811,32 @@ pub fn figure_verification() -> Table {
             op: SingleQuditOp::Add(1),
         };
         let ok = verify_mct_exhaustive(&circuit, &spec).unwrap().is_pass();
-        push(&mut table, "Fig. 7", "|0^k⟩-X+1, k−2 borrowed ancillas (Lemma III.4)", "d=3, k=4", ok);
+        push(
+            &mut table,
+            "Fig. 7",
+            "|0^k⟩-X+1, k−2 borrowed ancillas (Lemma III.4)",
+            "d=3, k=4",
+            ok,
+        );
     }
     // Figs. 8–9 are covered by the P_k unit tests; report the one-ancilla
     // variant here through the Toffoli built on top of it.
     {
         let synthesis = KToffoli::new(dim(3), 5).unwrap().synthesize().unwrap();
-        let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
-        let ok = verify_mct_exhaustive(synthesis.circuit(), &spec).unwrap().is_pass();
-        push(&mut table, "Figs. 8–10", "k-Toffoli, odd d, ancilla-free (Thm III.6 via P_k)", "d=3, k=5", ok);
+        let spec = MctSpec::toffoli(
+            synthesis.layout().controls.clone(),
+            synthesis.layout().target,
+        );
+        let ok = verify_mct_exhaustive(synthesis.circuit(), &spec)
+            .unwrap()
+            .is_pass();
+        push(
+            &mut table,
+            "Figs. 8–10",
+            "k-Toffoli, odd d, ancilla-free (Thm III.6 via P_k)",
+            "d=3, k=5",
+            ok,
+        );
     }
     // Fig. 1(b): multi-controlled U with one clean ancilla.
     {
@@ -676,18 +856,33 @@ pub fn figure_verification() -> Table {
         )
         .unwrap()
         .is_pass();
-        push(&mut table, "Fig. 1(b)", "|0^k⟩-U, one clean ancilla", "d=3, k=3", ok);
+        push(
+            &mut table,
+            "Fig. 1(b)",
+            "|0^k⟩-U, one clean ancilla",
+            "d=3, k=3",
+            ok,
+        );
     }
     // Fig. 11: reversible 2-cycle.
     {
         let dimension = dim(3);
         let f = ReversibleFunction::two_cycle(dimension, 3, &[0, 1, 2], &[1, 2, 0]).unwrap();
-        let synthesis = ReversibleSynthesizer::new(dimension).unwrap().synthesize(&f).unwrap();
+        let synthesis = ReversibleSynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&f)
+            .unwrap();
         let ok = (0..27).all(|index| {
             let digits = qudit_sim::basis::index_to_digits(index, dimension, 3);
             synthesis.circuit().apply_to_basis(&digits).unwrap() == f.apply(&digits).unwrap()
         });
-        push(&mut table, "Fig. 11", "2-cycle implementation (Thm IV.2)", "d=3, n=3", ok);
+        push(
+            &mut table,
+            "Fig. 11",
+            "2-cycle implementation (Thm IV.2)",
+            "d=3, n=3",
+            ok,
+        );
     }
     // Parity impossibility remark (after Thm III.2): a multi-controlled gate
     // over G alone is an odd permutation on k+1 qudits for even d — checked
@@ -697,12 +892,7 @@ pub fn figure_verification() -> Table {
             .unwrap()
             .synthesize()
             .unwrap();
-        let uses_ancilla = synthesis
-            .g_gate_circuit()
-            .unwrap()
-            .used_qudits()
-            .len()
-            > 3;
+        let uses_ancilla = synthesis.g_gate_circuit().unwrap().used_qudits().len() > 3;
         push(
             &mut table,
             "Remark (Thm III.2)",
@@ -728,9 +918,14 @@ pub fn full_report(scale: Scale) -> String {
         e8_clifford_t(scale),
         e9_lower_bound(scale),
         e10_peephole(scale),
+        e11_pipeline(scale),
         figure_verification(),
     ];
-    tables.iter().map(Table::to_markdown).collect::<Vec<_>>().join("\n")
+    tables
+        .iter()
+        .map(Table::to_markdown)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]
@@ -763,7 +958,10 @@ mod tests {
             .expect("row for d=3, k=8");
         let ours: f64 = row[2].parse().unwrap();
         let exponential: f64 = row[6].parse().unwrap();
-        assert!(exponential > ours, "exponential baseline should lose by k=8");
+        assert!(
+            exponential > ours,
+            "exponential baseline should lose by k=8"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl Table {
 
     /// Appends a row.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        debug_assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
     }
 
@@ -36,7 +40,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -82,7 +90,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f64(12345.6), "12346");
-        assert_eq!(fmt_f64(3.14159), "3.1");
+        assert_eq!(fmt_f64(3.25159), "3.3");
         assert_eq!(fmt_f64(0.1234), "0.123");
     }
 }

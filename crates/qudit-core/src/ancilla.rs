@@ -112,7 +112,12 @@ mod tests {
 
     #[test]
     fn totals_and_flags() {
-        let usage = AncillaUsage { burnable: 1, clean: 2, garbage: 3, borrowed: 4 };
+        let usage = AncillaUsage {
+            burnable: 1,
+            clean: 2,
+            garbage: 3,
+            borrowed: 4,
+        };
         assert_eq!(usage.total(), 10);
         assert!(!usage.is_ancilla_free());
         assert!(AncillaUsage::none().is_ancilla_free());

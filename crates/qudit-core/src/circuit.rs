@@ -39,7 +39,11 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit with the given qudit dimension and width.
     pub fn new(dimension: Dimension, width: usize) -> Self {
-        Circuit { dimension, width, gates: Vec::new() }
+        Circuit {
+            dimension,
+            width,
+            gates: Vec::new(),
+        }
     }
 
     /// The qudit dimension `d`.
@@ -131,7 +135,11 @@ impl Circuit {
             .rev()
             .map(|g| g.inverse(self.dimension))
             .collect();
-        Circuit { dimension: self.dimension, width: self.width, gates }
+        Circuit {
+            dimension: self.dimension,
+            width: self.width,
+            gates,
+        }
     }
 
     /// Returns a copy of the circuit embedded in a wider register.
@@ -145,7 +153,11 @@ impl Circuit {
                 reason: format!("cannot shrink width from {} to {}", self.width, width),
             });
         }
-        Ok(Circuit { dimension: self.dimension, width, gates: self.gates.clone() })
+        Ok(Circuit {
+            dimension: self.dimension,
+            width,
+            gates: self.gates.clone(),
+        })
     }
 
     /// Applies a classical circuit to a computational basis state.
@@ -157,11 +169,17 @@ impl Circuit {
     /// input has the wrong length.
     pub fn apply_to_basis(&self, digits: &[u32]) -> Result<Vec<u32>> {
         if digits.len() != self.width {
-            return Err(QuditError::QuditOutOfRange { qudit: digits.len(), width: self.width });
+            return Err(QuditError::QuditOutOfRange {
+                qudit: digits.len(),
+                width: self.width,
+            });
         }
         for (i, &v) in digits.iter().enumerate() {
             if v >= self.dimension.get() {
-                return Err(QuditError::LevelOutOfRange { level: v, dimension: self.dimension.get() });
+                return Err(QuditError::LevelOutOfRange {
+                    level: v,
+                    dimension: self.dimension.get(),
+                });
             }
             let _ = i;
         }
@@ -182,7 +200,8 @@ impl Circuit {
     /// The result maps arity (1, 2, 3, …) to the number of gates with that
     /// arity; useful for reporting "two-qudit gate" counts.
     pub fn arity_histogram(&self) -> Vec<(usize, usize)> {
-        let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for gate in &self.gates {
             *counts.entry(gate.arity()).or_insert(0) += 1;
         }
@@ -201,7 +220,11 @@ impl Circuit {
 
     /// The largest number of controls on any gate (0 for an empty circuit).
     pub fn max_controls(&self) -> usize {
-        self.gates.iter().map(|g| g.controls().len()).max().unwrap_or(0)
+        self.gates
+            .iter()
+            .map(|g| g.controls().len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns the qudits that are touched by at least one gate.
@@ -224,7 +247,9 @@ impl fmt::Display for Circuit {
         writeln!(
             f,
             "circuit: d={}, width={}, gates={}",
-            self.dimension, self.width, self.gates.len()
+            self.dimension,
+            self.width,
+            self.gates.len()
         )?;
         for (i, gate) in self.gates.iter().enumerate() {
             writeln!(f, "  {i:4}: {gate}")?;
@@ -257,7 +282,10 @@ mod tests {
         c.push(Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(2),
-            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+            vec![
+                Control::zero(QuditId::new(0)),
+                Control::zero(QuditId::new(1)),
+            ],
         ))
         .unwrap();
         c
@@ -286,7 +314,8 @@ mod tests {
     fn inverse_undoes_classical_circuit() {
         let d = dim(5);
         let mut c = Circuit::new(d, 2);
-        c.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))
+            .unwrap();
         c.push(Gate::controlled(
             SingleQuditOp::Add(3),
             QuditId::new(1),
@@ -316,7 +345,8 @@ mod tests {
     fn counting_helpers() {
         let d = dim(4);
         let mut c = Circuit::new(d, 4);
-        c.push(Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(0)))
+            .unwrap();
         c.push(Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(1),
@@ -326,7 +356,10 @@ mod tests {
         c.push(Gate::controlled(
             SingleQuditOp::Swap(0, 2),
             QuditId::new(2),
-            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+            vec![
+                Control::zero(QuditId::new(0)),
+                Control::zero(QuditId::new(1)),
+            ],
         ))
         .unwrap();
         assert_eq!(c.two_qudit_gate_count(), 1);

@@ -48,7 +48,7 @@ impl ControlPredicate {
         match self {
             ControlPredicate::Level(l) => level == l,
             ControlPredicate::Odd => level % 2 == 1,
-            ControlPredicate::EvenNonzero => level != 0 && level % 2 == 0,
+            ControlPredicate::EvenNonzero => level != 0 && level.is_multiple_of(2),
             ControlPredicate::NonZero => level != 0,
         }
     }
@@ -109,27 +109,42 @@ impl Control {
 
     /// Creates a `|0⟩`-control, the default control kind of the paper.
     pub fn zero(qudit: QuditId) -> Self {
-        Control { qudit, predicate: ControlPredicate::Level(0) }
+        Control {
+            qudit,
+            predicate: ControlPredicate::Level(0),
+        }
     }
 
     /// Creates a `|ℓ⟩`-control.
     pub fn level(qudit: QuditId, level: u32) -> Self {
-        Control { qudit, predicate: ControlPredicate::Level(level) }
+        Control {
+            qudit,
+            predicate: ControlPredicate::Level(level),
+        }
     }
 
     /// Creates an `|o⟩`-control (fires on odd levels).
     pub fn odd(qudit: QuditId) -> Self {
-        Control { qudit, predicate: ControlPredicate::Odd }
+        Control {
+            qudit,
+            predicate: ControlPredicate::Odd,
+        }
     }
 
     /// Creates an `|e⟩`-control (fires on non-zero even levels).
     pub fn even_nonzero(qudit: QuditId) -> Self {
-        Control { qudit, predicate: ControlPredicate::EvenNonzero }
+        Control {
+            qudit,
+            predicate: ControlPredicate::EvenNonzero,
+        }
     }
 
     /// Creates a control that fires on any non-zero level.
     pub fn nonzero(qudit: QuditId) -> Self {
-        Control { qudit, predicate: ControlPredicate::NonZero }
+        Control {
+            qudit,
+            predicate: ControlPredicate::NonZero,
+        }
     }
 }
 
@@ -190,7 +205,10 @@ mod tests {
         assert_eq!(Control::zero(q).predicate, ControlPredicate::Level(0));
         assert_eq!(Control::level(q, 2).predicate, ControlPredicate::Level(2));
         assert_eq!(Control::odd(q).predicate, ControlPredicate::Odd);
-        assert_eq!(Control::even_nonzero(q).predicate, ControlPredicate::EvenNonzero);
+        assert_eq!(
+            Control::even_nonzero(q).predicate,
+            ControlPredicate::EvenNonzero
+        );
         assert_eq!(Control::nonzero(q).predicate, ControlPredicate::NonZero);
         assert_eq!(Control::zero(q).qudit, q);
     }

@@ -92,8 +92,10 @@ mod tests {
     #[test]
     fn disjoint_gates_share_a_layer() {
         let mut c = Circuit::new(dim(), 4);
-        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0))).unwrap();
-        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(1))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(1)))
+            .unwrap();
         c.push(Gate::controlled(
             SingleQuditOp::Add(1),
             QuditId::new(3),
@@ -122,14 +124,16 @@ mod tests {
     #[test]
     fn depth_never_exceeds_gate_count() {
         let mut c = Circuit::new(dim(), 3);
-        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
         c.push(Gate::controlled(
             SingleQuditOp::Add(2),
             QuditId::new(2),
             vec![Control::odd(QuditId::new(0))],
         ))
         .unwrap();
-        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(1))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(1)))
+            .unwrap();
         let depth = circuit_depth(&c);
         assert!(depth <= c.len());
         assert!(depth >= 1);

@@ -44,7 +44,11 @@ pub fn render(circuit: &Circuit) -> String {
 ///
 /// Panics if `labels.len() != circuit.width()`.
 pub fn render_with_labels(circuit: &Circuit, labels: &[String]) -> String {
-    assert_eq!(labels.len(), circuit.width(), "one label per qudit is required");
+    assert_eq!(
+        labels.len(),
+        circuit.width(),
+        "one label per qudit is required"
+    );
     let width = circuit.width();
     let label_width = labels.iter().map(String::len).max().unwrap_or(0);
 
@@ -63,7 +67,13 @@ pub fn render_with_labels(circuit: &Circuit, labels: &[String]) -> String {
     }
     let column_widths: Vec<usize> = columns
         .iter()
-        .map(|col| col.iter().map(|c| c.chars().count()).max().unwrap_or(1).max(1))
+        .map(|col| {
+            col.iter()
+                .map(|c| c.chars().count())
+                .max()
+                .unwrap_or(1)
+                .max(1)
+        })
         .collect();
 
     let mut out = String::new();
@@ -122,10 +132,19 @@ mod tests {
         c.push(Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(2),
-            vec![Control::zero(QuditId::new(0)), Control::odd(QuditId::new(1))],
+            vec![
+                Control::zero(QuditId::new(0)),
+                Control::odd(QuditId::new(1)),
+            ],
         ))
         .unwrap();
-        c.push(Gate::add_from(QuditId::new(0), true, QuditId::new(1), vec![])).unwrap();
+        c.push(Gate::add_from(
+            QuditId::new(0),
+            true,
+            QuditId::new(1),
+            vec![],
+        ))
+        .unwrap();
         c
     }
 

@@ -58,7 +58,7 @@ impl Dimension {
     /// Returns `true` if the dimension is even.
     #[inline]
     pub fn is_even(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// Iterates over all levels `0, 1, …, d − 1`.
@@ -85,7 +85,10 @@ impl Dimension {
         if level < self.0 {
             Ok(())
         } else {
-            Err(QuditError::LevelOutOfRange { level, dimension: self.0 })
+            Err(QuditError::LevelOutOfRange {
+                level,
+                dimension: self.0,
+            })
         }
     }
 
@@ -160,7 +163,10 @@ mod tests {
         assert!(d.check_level(2).is_ok());
         assert_eq!(
             d.check_level(3),
-            Err(QuditError::LevelOutOfRange { level: 3, dimension: 3 })
+            Err(QuditError::LevelOutOfRange {
+                level: 3,
+                dimension: 3
+            })
         );
     }
 

@@ -78,26 +78,47 @@ pub enum QuditError {
         /// Description of the mismatch.
         reason: String,
     },
+    /// A compilation pass failed (see [`crate::pipeline`]): it could not
+    /// transform its input, or a verification wrapper detected that it did
+    /// not preserve the circuit's semantics.
+    PassFailed {
+        /// Name of the failing pass.
+        pass: String,
+        /// Description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QuditError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QuditError::InvalidDimension { dimension } => {
-                write!(f, "invalid qudit dimension {dimension}; dimensions must be at least 2")
+                write!(
+                    f,
+                    "invalid qudit dimension {dimension}; dimensions must be at least 2"
+                )
             }
             QuditError::LevelOutOfRange { level, dimension } => {
                 write!(f, "level {level} is out of range for dimension {dimension}")
             }
             QuditError::QuditOutOfRange { qudit, width } => {
-                write!(f, "qudit index {qudit} is out of range for a circuit of width {width}")
+                write!(
+                    f,
+                    "qudit index {qudit} is out of range for a circuit of width {width}"
+                )
             }
             QuditError::DuplicateQudit { qudit } => {
                 write!(f, "qudit {qudit} appears more than once in a single gate")
             }
-            QuditError::ParityMismatch { dimension, requires_even } => {
+            QuditError::ParityMismatch {
+                dimension,
+                requires_even,
+            } => {
                 if *requires_even {
-                    write!(f, "operation requires an even dimension but d = {dimension}")
+                    write!(
+                        f,
+                        "operation requires an even dimension but d = {dimension}"
+                    )
                 } else {
                     write!(f, "operation requires an odd dimension but d = {dimension}")
                 }
@@ -108,19 +129,31 @@ impl fmt::Display for QuditError {
             QuditError::NotAPermutation => write!(f, "table is not a permutation of the levels"),
             QuditError::NotUnitary => write!(f, "matrix is not unitary within tolerance"),
             QuditError::MatrixShapeMismatch { found, expected } => {
-                write!(f, "matrix has size {found} but size {expected} was expected")
+                write!(
+                    f,
+                    "matrix has size {found} but size {expected} was expected"
+                )
             }
             QuditError::UnsupportedLowering { reason } => {
                 write!(f, "cannot lower gate to G-gates: {reason}")
             }
             QuditError::NotClassical => {
-                write!(f, "operation is not a classical permutation of the computational basis")
+                write!(
+                    f,
+                    "operation is not a classical permutation of the computational basis"
+                )
             }
-            QuditError::InsufficientAncillas { required, available } => {
+            QuditError::InsufficientAncillas {
+                required,
+                available,
+            } => {
                 write!(f, "construction needs {required} ancilla qudits but only {available} are available")
             }
             QuditError::IncompatibleCircuits { reason } => {
                 write!(f, "circuits cannot be combined: {reason}")
+            }
+            QuditError::PassFailed { pass, reason } => {
+                write!(f, "pass '{pass}' failed: {reason}")
             }
         }
     }
@@ -139,19 +172,42 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let errors = vec![
             QuditError::InvalidDimension { dimension: 1 },
-            QuditError::LevelOutOfRange { level: 5, dimension: 3 },
+            QuditError::LevelOutOfRange {
+                level: 5,
+                dimension: 3,
+            },
             QuditError::QuditOutOfRange { qudit: 7, width: 3 },
             QuditError::DuplicateQudit { qudit: 2 },
-            QuditError::ParityMismatch { dimension: 3, requires_even: true },
-            QuditError::ParityMismatch { dimension: 4, requires_even: false },
+            QuditError::ParityMismatch {
+                dimension: 3,
+                requires_even: true,
+            },
+            QuditError::ParityMismatch {
+                dimension: 4,
+                requires_even: false,
+            },
             QuditError::DegenerateTransposition { level: 1 },
             QuditError::NotAPermutation,
             QuditError::NotUnitary,
-            QuditError::MatrixShapeMismatch { found: 2, expected: 3 },
-            QuditError::UnsupportedLowering { reason: "two controls".into() },
+            QuditError::MatrixShapeMismatch {
+                found: 2,
+                expected: 3,
+            },
+            QuditError::UnsupportedLowering {
+                reason: "two controls".into(),
+            },
             QuditError::NotClassical,
-            QuditError::InsufficientAncillas { required: 3, available: 1 },
-            QuditError::IncompatibleCircuits { reason: "widths differ".into() },
+            QuditError::InsufficientAncillas {
+                required: 3,
+                available: 1,
+            },
+            QuditError::IncompatibleCircuits {
+                reason: "widths differ".into(),
+            },
+            QuditError::PassFailed {
+                pass: "lower-to-g-gates".into(),
+                reason: "not classical".into(),
+            },
         ];
         for error in errors {
             let message = error.to_string();

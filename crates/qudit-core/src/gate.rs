@@ -74,23 +74,44 @@ pub struct Gate {
 impl Gate {
     /// Creates an uncontrolled single-qudit gate.
     pub fn single(op: SingleQuditOp, target: QuditId) -> Self {
-        Gate { op: GateOp::Single(op), target, controls: Vec::new() }
+        Gate {
+            op: GateOp::Single(op),
+            target,
+            controls: Vec::new(),
+        }
     }
 
     /// Creates a controlled single-qudit gate.
     pub fn controlled(op: SingleQuditOp, target: QuditId, controls: Vec<Control>) -> Self {
-        Gate { op: GateOp::Single(op), target, controls }
+        Gate {
+            op: GateOp::Single(op),
+            target,
+            controls,
+        }
     }
 
     /// Creates a gate from an arbitrary [`GateOp`].
     pub fn new(op: GateOp, target: QuditId, controls: Vec<Control>) -> Self {
-        Gate { op, target, controls }
+        Gate {
+            op,
+            target,
+            controls,
+        }
     }
 
     /// Creates the value-controlled shift `|⋆⟩-X±⋆` (optionally with further
     /// controls).
-    pub fn add_from(source: QuditId, negate: bool, target: QuditId, controls: Vec<Control>) -> Self {
-        Gate { op: GateOp::AddFrom { source, negate }, target, controls }
+    pub fn add_from(
+        source: QuditId,
+        negate: bool,
+        target: QuditId,
+        controls: Vec<Control>,
+    ) -> Self {
+        Gate {
+            op: GateOp::AddFrom { source, negate },
+            target,
+            controls,
+        }
     }
 
     /// The operation applied to the target.
@@ -153,7 +174,10 @@ impl Gate {
         let qudits = self.qudits();
         for q in &qudits {
             if q.index() >= width {
-                return Err(QuditError::QuditOutOfRange { qudit: q.index(), width });
+                return Err(QuditError::QuditOutOfRange {
+                    qudit: q.index(),
+                    width,
+                });
             }
         }
         for (i, a) in qudits.iter().enumerate() {
@@ -176,9 +200,16 @@ impl Gate {
     pub fn inverse(&self, dimension: Dimension) -> Gate {
         let op = match &self.op {
             GateOp::Single(op) => GateOp::Single(op.inverse(dimension)),
-            GateOp::AddFrom { source, negate } => GateOp::AddFrom { source: *source, negate: !negate },
+            GateOp::AddFrom { source, negate } => GateOp::AddFrom {
+                source: *source,
+                negate: !negate,
+            },
         };
-        Gate { op, target: self.target, controls: self.controls.clone() }
+        Gate {
+            op,
+            target: self.target,
+            controls: self.controls.clone(),
+        }
     }
 
     /// Returns `true` when all controls fire for the given basis state.
@@ -227,7 +258,13 @@ impl fmt::Display for Gate {
             write!(f, "{} -> {}", self.op, self.target)
         } else {
             let controls: Vec<String> = self.controls.iter().map(|c| c.to_string()).collect();
-            write!(f, "[{}] {} -> {}", controls.join(", "), self.op, self.target)
+            write!(
+                f,
+                "[{}] {} -> {}",
+                controls.join(", "),
+                self.op,
+                self.target
+            )
         }
     }
 }
@@ -267,7 +304,10 @@ mod tests {
         let cc = Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(2),
-            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+            vec![
+                Control::zero(QuditId::new(0)),
+                Control::zero(QuditId::new(1)),
+            ],
         );
         assert!(!cc.is_g_gate());
     }
@@ -282,7 +322,10 @@ mod tests {
             QuditId::new(0),
             vec![Control::zero(QuditId::new(0))],
         );
-        assert!(matches!(duplicate.validate(d, 3), Err(QuditError::DuplicateQudit { .. })));
+        assert!(matches!(
+            duplicate.validate(d, 3),
+            Err(QuditError::DuplicateQudit { .. })
+        ));
         let bad_level = Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(1),

@@ -14,6 +14,9 @@
 //!   classical basis-state evaluation;
 //! * [`lowering`] — lowering of singly-controlled classical gates to the
 //!   elementary G-gate set `{Xij} ∪ {|0⟩-X01}`;
+//! * [`pipeline`] — the [`pipeline::Pass`] trait and
+//!   [`pipeline::PassManager`] composing lowering/optimisation stages with
+//!   per-pass statistics;
 //! * [`math`] — minimal complex numbers and dense matrices;
 //! * [`AncillaKind`], [`AncillaUsage`] — ancilla bookkeeping.
 //!
@@ -55,6 +58,7 @@ pub mod lowering;
 pub mod math;
 mod ops;
 pub mod optimize;
+pub mod pipeline;
 mod qudit;
 
 pub use ancilla::{AncillaKind, AncillaUsage};

@@ -32,7 +32,9 @@ pub fn lower_gate(gate: &Gate, dimension: Dimension) -> Result<Vec<Gate>> {
         0 => lower_uncontrolled(gate, dimension),
         1 => lower_single_controlled(gate, dimension),
         n => Err(QuditError::UnsupportedLowering {
-            reason: format!("gate has {n} controls; use qudit-synthesis to lower multi-controlled gates"),
+            reason: format!(
+                "gate has {n} controls; use qudit-synthesis to lower multi-controlled gates"
+            ),
         }),
     }
 }
@@ -94,7 +96,9 @@ fn lower_uncontrolled(gate: &Gate, dimension: Dimension) -> Result<Vec<Gate>> {
 fn lower_single_controlled(gate: &Gate, dimension: Dimension) -> Result<Vec<Gate>> {
     let control = gate.controls()[0];
     match control.predicate {
-        ControlPredicate::Level(level) => lower_level_controlled(gate, control.qudit, level, dimension),
+        ControlPredicate::Level(level) => {
+            lower_level_controlled(gate, control.qudit, level, dimension)
+        }
         predicate => {
             // Expand the predicate into one level-controlled gate per
             // matching level; different control levels commute.
@@ -128,7 +132,14 @@ fn lower_level_controlled(
             let transpositions = op.transpositions(dimension)?;
             let mut out = Vec::new();
             for (i, j) in transpositions {
-                out.extend(lower_controlled_swap(control, level, gate.target(), i, j, dimension));
+                out.extend(lower_controlled_swap(
+                    control,
+                    level,
+                    gate.target(),
+                    i,
+                    j,
+                    dimension,
+                ));
             }
             Ok(out)
         }
@@ -225,7 +236,11 @@ mod tests {
                 SingleQuditOp::Swap(0, d - 1),
                 SingleQuditOp::Add(1),
                 SingleQuditOp::Add(d - 1),
-                if d % 2 == 0 { SingleQuditOp::ParityFlipEven } else { SingleQuditOp::ParityFlipOdd },
+                if d % 2 == 0 {
+                    SingleQuditOp::ParityFlipEven
+                } else {
+                    SingleQuditOp::ParityFlipOdd
+                },
             ];
             for op in ops {
                 let gate = Gate::single(op, QuditId::new(0));
@@ -303,7 +318,10 @@ mod tests {
         let gate = Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(2),
-            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+            vec![
+                Control::zero(QuditId::new(0)),
+                Control::zero(QuditId::new(1)),
+            ],
         );
         assert!(matches!(
             lower_gate(&gate, dimension),

@@ -49,13 +49,19 @@ impl Complex {
     /// Creates `exp(i·theta)`.
     #[inline]
     pub fn from_phase(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -84,13 +90,19 @@ impl Complex {
     pub fn recip(self) -> Self {
         let n = self.norm_sqr();
         assert!(n > 0.0, "attempted to invert the zero complex number");
-        Complex { re: self.re / n, im: -self.im / n }
+        Complex {
+            re: self.re / n,
+            im: -self.im / n,
+        }
     }
 
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, factor: f64) -> Self {
-        Complex { re: self.re * factor, im: self.im * factor }
+        Complex {
+            re: self.re * factor,
+            im: self.im * factor,
+        }
     }
 }
 
@@ -98,7 +110,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline]
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -114,7 +129,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline]
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -155,6 +173,8 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    // Division via multiplication by the reciprocal is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -164,7 +184,10 @@ impl Neg for Complex {
     type Output = Complex;
     #[inline]
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

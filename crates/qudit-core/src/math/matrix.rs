@@ -33,7 +33,10 @@ pub struct SquareMatrix {
 impl SquareMatrix {
     /// Creates a zero matrix of the given size.
     pub fn zeros(size: usize) -> Self {
-        SquareMatrix { size, data: vec![Complex::ZERO; size * size] }
+        SquareMatrix {
+            size,
+            data: vec![Complex::ZERO; size * size],
+        }
     }
 
     /// Creates the identity matrix of the given size.
@@ -52,7 +55,10 @@ impl SquareMatrix {
     /// Returns [`QuditError::MatrixShapeMismatch`] when `data.len() != size²`.
     pub fn from_rows(size: usize, data: Vec<Complex>) -> Result<Self> {
         if data.len() != size * size {
-            return Err(QuditError::MatrixShapeMismatch { found: data.len(), expected: size * size });
+            return Err(QuditError::MatrixShapeMismatch {
+                found: data.len(),
+                expected: size * size,
+            });
         }
         Ok(SquareMatrix { size, data })
     }
@@ -197,7 +203,10 @@ impl Mul for &SquareMatrix {
     type Output = SquareMatrix;
 
     fn mul(self, rhs: &SquareMatrix) -> SquareMatrix {
-        assert_eq!(self.size, rhs.size, "matrix sizes must match for multiplication");
+        assert_eq!(
+            self.size, rhs.size,
+            "matrix sizes must match for multiplication"
+        );
         let n = self.size;
         let mut out = SquareMatrix::zeros(n);
         for r in 0..n {
@@ -278,7 +287,13 @@ mod tests {
     #[test]
     fn shape_mismatch_is_reported() {
         let err = SquareMatrix::from_rows(2, vec![Complex::ONE; 3]).unwrap_err();
-        assert_eq!(err, QuditError::MatrixShapeMismatch { found: 3, expected: 4 });
+        assert_eq!(
+            err,
+            QuditError::MatrixShapeMismatch {
+                found: 3,
+                expected: 4
+            }
+        );
     }
 
     #[test]

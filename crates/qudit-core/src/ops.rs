@@ -50,7 +50,9 @@ impl Permutation {
 
     /// The identity permutation on `d` levels.
     pub fn identity(dimension: Dimension) -> Self {
-        Permutation { map: dimension.levels().collect() }
+        Permutation {
+            map: dimension.levels().collect(),
+        }
     }
 
     /// The transposition `Xij` exchanging levels `i` and `j`.
@@ -61,7 +63,10 @@ impl Permutation {
     /// [`SingleQuditOp::swap`] for a checked constructor.
     pub fn transposition(dimension: Dimension, i: u32, j: u32) -> Self {
         assert!(i != j, "transposition levels must differ");
-        assert!(i < dimension.get() && j < dimension.get(), "levels out of range");
+        assert!(
+            i < dimension.get() && j < dimension.get(),
+            "levels out of range"
+        );
         let mut map: Vec<u32> = dimension.levels().collect();
         map.swap(i as usize, j as usize);
         Permutation { map }
@@ -116,8 +121,16 @@ impl Permutation {
     ///
     /// Panics if the permutations act on different numbers of levels.
     pub fn compose(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.map.len(), other.map.len(), "permutation sizes must match");
-        let map = other.map.iter().map(|&mid| self.map[mid as usize]).collect();
+        assert_eq!(
+            self.map.len(),
+            other.map.len(),
+            "permutation sizes must match"
+        );
+        let map = other
+            .map
+            .iter()
+            .map(|&mid| self.map[mid as usize])
+            .collect();
         Permutation { map }
     }
 
@@ -161,7 +174,7 @@ impl Permutation {
 
     /// Returns the parity of the permutation: `true` when it is even.
     pub fn is_even(&self) -> bool {
-        self.transpositions().len() % 2 == 0
+        self.transpositions().len().is_multiple_of(2)
     }
 
     /// Returns `true` if the permutation is its own inverse.
@@ -326,21 +339,30 @@ impl SingleQuditOp {
                 if dimension.is_even() {
                     Ok(())
                 } else {
-                    Err(QuditError::ParityMismatch { dimension: dimension.get(), requires_even: true })
+                    Err(QuditError::ParityMismatch {
+                        dimension: dimension.get(),
+                        requires_even: true,
+                    })
                 }
             }
             SingleQuditOp::ParityFlipOdd => {
                 if dimension.is_odd() {
                     Ok(())
                 } else {
-                    Err(QuditError::ParityMismatch { dimension: dimension.get(), requires_even: false })
+                    Err(QuditError::ParityMismatch {
+                        dimension: dimension.get(),
+                        requires_even: false,
+                    })
                 }
             }
             SingleQuditOp::Perm(p) => {
                 if p.len() == dimension.as_usize() {
                     Ok(())
                 } else {
-                    Err(QuditError::MatrixShapeMismatch { found: p.len(), expected: dimension.as_usize() })
+                    Err(QuditError::MatrixShapeMismatch {
+                        found: p.len(),
+                        expected: dimension.as_usize(),
+                    })
                 }
             }
             SingleQuditOp::Unitary(m) => {
@@ -388,9 +410,9 @@ impl SingleQuditOp {
                 Ok(Permutation { map })
             }
             SingleQuditOp::Perm(p) => Ok(p.clone()),
-            SingleQuditOp::Unitary(m) => {
-                self.try_permutation_from_matrix(m).ok_or(QuditError::NotClassical)
-            }
+            SingleQuditOp::Unitary(m) => self
+                .try_permutation_from_matrix(m)
+                .ok_or(QuditError::NotClassical),
         }
     }
 
@@ -458,16 +480,17 @@ impl SingleQuditOp {
     /// Returns `true` when applying the operation twice yields the identity.
     pub fn is_involution(&self, dimension: Dimension) -> bool {
         match self {
-            SingleQuditOp::Swap(_, _) | SingleQuditOp::ParityFlipEven | SingleQuditOp::ParityFlipOdd => true,
+            SingleQuditOp::Swap(_, _)
+            | SingleQuditOp::ParityFlipEven
+            | SingleQuditOp::ParityFlipOdd => true,
             SingleQuditOp::Add(y) => {
                 let d = dimension.get();
-                (2 * (*y % d)) % d == 0
+                (2 * (*y % d)).is_multiple_of(d)
             }
             SingleQuditOp::Perm(p) => p.is_involution(),
-            SingleQuditOp::Unitary(m) => (m * m).approx_eq(
-                &SquareMatrix::identity(m.size()),
-                MATRIX_TOLERANCE,
-            ),
+            SingleQuditOp::Unitary(m) => {
+                (m * m).approx_eq(&SquareMatrix::identity(m.size()), MATRIX_TOLERANCE)
+            }
         }
     }
 }
@@ -516,7 +539,10 @@ mod tests {
             for (i, j) in p.transpositions() {
                 rebuilt = Permutation::transposition(d, i, j).compose(&rebuilt);
             }
-            assert_eq!(rebuilt, p, "X+{y} should be rebuilt from its transpositions");
+            assert_eq!(
+                rebuilt, p,
+                "X+{y} should be rebuilt from its transpositions"
+            );
             assert!(p.transpositions().len() <= 6);
         }
     }
@@ -592,7 +618,10 @@ mod tests {
         let m = SingleQuditOp::Swap(0, 2).to_matrix(d);
         let op = SingleQuditOp::Unitary(m);
         assert!(op.is_classical());
-        assert_eq!(op.to_permutation(d).unwrap(), Permutation::transposition(d, 0, 2));
+        assert_eq!(
+            op.to_permutation(d).unwrap(),
+            Permutation::transposition(d, 0, 2)
+        );
     }
 
     #[test]
@@ -612,7 +641,10 @@ mod tests {
             SingleQuditOp::Add(3),
             SingleQuditOp::ParityFlipOdd,
         ] {
-            assert!(op.to_matrix(d).is_unitary(MATRIX_TOLERANCE), "{op} should be unitary");
+            assert!(
+                op.to_matrix(d).is_unitary(MATRIX_TOLERANCE),
+                "{op} should be unitary"
+            );
         }
     }
 }

@@ -93,7 +93,8 @@ pub fn cancel_inverse_pairs(circuit: &Circuit) -> Circuit {
 
     let mut out = Circuit::new(dimension, circuit.width());
     for gate in kept.into_iter().flatten() {
-        out.push(gate).expect("gates were valid in the input circuit");
+        out.push(gate)
+            .expect("gates were valid in the input circuit");
     }
     out
 }
@@ -131,7 +132,10 @@ mod tests {
                 *slot = (index % d) as u32;
                 index /= d;
             }
-            assert_eq!(a.apply_to_basis(&digits).unwrap(), b.apply_to_basis(&digits).unwrap());
+            assert_eq!(
+                a.apply_to_basis(&digits).unwrap(),
+                b.apply_to_basis(&digits).unwrap()
+            );
         }
     }
 
@@ -156,10 +160,14 @@ mod tests {
         let d = dim(5);
         let mut c = Circuit::new(d, 1);
         // X+1, X+2, X−2, X−1 — cancels completely from the inside out.
-        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0))).unwrap();
-        c.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0))).unwrap();
-        c.push(Gate::single(SingleQuditOp::Add(3), QuditId::new(0))).unwrap();
-        c.push(Gate::single(SingleQuditOp::Add(4), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))
+            .unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(3), QuditId::new(0)))
+            .unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(4), QuditId::new(0)))
+            .unwrap();
         let optimized = cancel_inverse_pairs(&c);
         assert!(optimized.is_empty());
     }
@@ -190,7 +198,8 @@ mod tests {
         let mut c = Circuit::new(d, 3);
         let swap = Gate::single(SingleQuditOp::Swap(0, 2), QuditId::new(0));
         c.push(swap.clone()).unwrap();
-        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(2))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(2)))
+            .unwrap();
         c.push(swap).unwrap();
         let optimized = cancel_inverse_pairs(&c);
         assert_eq!(optimized.len(), 1);
@@ -223,8 +232,16 @@ mod tests {
         let mut c = Circuit::new(d, 3);
         let gates = vec![
             Gate::single(SingleQuditOp::Swap(0, 3), QuditId::new(0)),
-            Gate::controlled(SingleQuditOp::Add(1), QuditId::new(1), vec![Control::odd(QuditId::new(0))]),
-            Gate::controlled(SingleQuditOp::Add(3), QuditId::new(1), vec![Control::odd(QuditId::new(0))]),
+            Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::odd(QuditId::new(0))],
+            ),
+            Gate::controlled(
+                SingleQuditOp::Add(3),
+                QuditId::new(1),
+                vec![Control::odd(QuditId::new(0))],
+            ),
             Gate::single(SingleQuditOp::Swap(0, 3), QuditId::new(0)),
             Gate::single(SingleQuditOp::ParityFlipEven, QuditId::new(2)),
         ];

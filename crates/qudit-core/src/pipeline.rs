@@ -1,0 +1,534 @@
+//! The compilation pipeline: composable circuit-to-circuit passes with
+//! per-pass statistics.
+//!
+//! The paper's flow — MCT synthesis → macro-gate lowering → G-gate lowering
+//! → inverse-pair cancellation — is a staged compilation pipeline.  This
+//! module provides the seam every stage plugs into:
+//!
+//! * [`Pass`] — a named, semantics-preserving circuit transformation;
+//! * [`PassManager`] — composes passes and records a [`PassStats`] entry
+//!   (gate counts, G-gate counts, depth, active qudits, wall time) for each;
+//! * [`CancelInversePairs`] and [`LowerToGGates`] — the core passes, wrapping
+//!   [`crate::optimize::cancel_inverse_pairs`] and
+//!   [`crate::lowering::lower_circuit`].
+//!
+//! The macro-gate lowering pass (`LowerToElementary`) and the
+//! `Pipeline::standard` preset live in `qudit-synthesis`, which owns the
+//! Fig. 2 / Fig. 5 gadgets; the semantics-checking `VerifyEquivalence`
+//! wrapper lives in `qudit-sim`, which owns the simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::pipeline::{CancelInversePairs, LowerToGGates, PassManager};
+//! use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = Dimension::new(3)?;
+//! let mut circuit = Circuit::new(d, 2);
+//! circuit.push(Gate::controlled(
+//!     SingleQuditOp::Add(1),
+//!     QuditId::new(1),
+//!     vec![Control::level(QuditId::new(0), 2)],
+//! ))?;
+//!
+//! let manager = PassManager::new()
+//!     .with_pass(LowerToGGates)
+//!     .with_pass(CancelInversePairs);
+//! let report = manager.run(circuit)?;
+//! assert!(report.circuit.gates().iter().all(|g| g.is_g_gate()));
+//! assert_eq!(report.stats.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::circuit::Circuit;
+use crate::depth::circuit_depth;
+use crate::error::{QuditError, Result};
+use crate::lowering;
+use crate::optimize;
+
+/// A named circuit-to-circuit transformation.
+///
+/// A pass must preserve the semantics of the circuit it transforms (up to
+/// the contract it documents — for example, lowering passes preserve the
+/// action on every basis state).  Passes take the circuit by value so that
+/// identity-like passes can return their input without cloning.
+pub trait Pass {
+    /// A short, stable, kebab-case name used in statistics and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Transforms the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the pass cannot handle the circuit (for
+    /// example, lowering a gate with too many controls).
+    fn run(&self, circuit: Circuit) -> Result<Circuit>;
+}
+
+impl Pass for Box<dyn Pass> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn run(&self, circuit: Circuit) -> Result<Circuit> {
+        self.as_ref().run(circuit)
+    }
+}
+
+/// A cheap structural snapshot of a circuit, recorded before and after every
+/// pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitProfile {
+    /// Total gate count.
+    pub gates: usize,
+    /// Number of gates that are elementary G-gates.
+    pub g_gates: usize,
+    /// Number of gates touching exactly two qudits.
+    pub two_qudit_gates: usize,
+    /// Circuit depth under greedy scheduling.
+    pub depth: usize,
+    /// The largest control count on any gate.
+    pub max_controls: usize,
+    /// Number of qudits touched by at least one gate (register activity —
+    /// for the synthesis constructions the delta over the controls+target
+    /// set is the ancilla usage).
+    pub active_qudits: usize,
+}
+
+impl CircuitProfile {
+    /// Profiles a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        CircuitProfile {
+            gates: circuit.len(),
+            g_gates: circuit.g_gate_count(),
+            two_qudit_gates: circuit.two_qudit_gate_count(),
+            depth: circuit_depth(circuit),
+            max_controls: circuit.max_controls(),
+            active_qudits: circuit.used_qudits().len(),
+        }
+    }
+}
+
+/// Statistics of one pass execution.
+#[derive(Debug, Clone)]
+pub struct PassStats {
+    /// Name of the pass.
+    pub pass: String,
+    /// Profile of the input circuit.
+    pub before: CircuitProfile,
+    /// Profile of the output circuit.
+    pub after: CircuitProfile,
+    /// Wall-clock time the pass took.
+    pub elapsed: Duration,
+}
+
+impl PassStats {
+    /// Signed change in gate count (negative when the pass removed gates).
+    pub fn gate_delta(&self) -> i64 {
+        self.after.gates as i64 - self.before.gates as i64
+    }
+
+    /// Signed change in depth.
+    pub fn depth_delta(&self) -> i64 {
+        self.after.depth as i64 - self.before.depth as i64
+    }
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: gates {} -> {}, depth {} -> {}, {:.1} µs",
+            self.pass,
+            self.before.gates,
+            self.after.gates,
+            self.before.depth,
+            self.after.depth,
+            self.elapsed.as_secs_f64() * 1e6,
+        )
+    }
+}
+
+/// The result of running a [`PassManager`]: the final circuit plus one
+/// [`PassStats`] entry per pass, in execution order.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The circuit after every pass has run.
+    pub circuit: Circuit,
+    /// Per-pass statistics, in execution order.
+    pub stats: Vec<PassStats>,
+}
+
+impl PipelineReport {
+    /// Total wall-clock time across all passes.
+    pub fn total_elapsed(&self) -> Duration {
+        self.stats.iter().map(|s| s.elapsed).sum()
+    }
+
+    /// The statistics entry of the named pass, if it ran.
+    pub fn stats_for(&self, pass: &str) -> Option<&PassStats> {
+        self.stats.iter().find(|s| s.pass == pass)
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for stats in &self.stats {
+            writeln!(f, "{stats}")?;
+        }
+        write!(
+            f,
+            "final: {} gates, depth {}",
+            self.circuit.len(),
+            circuit_depth(&self.circuit)
+        )
+    }
+}
+
+/// Composes [`Pass`]es into a pipeline and records per-pass statistics.
+///
+/// Optionally pins the register shape (dimension and width) the pipeline is
+/// built for, rejecting mismatched circuits up front.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    shape: Option<(crate::dimension::Dimension, usize)>,
+}
+
+impl PassManager {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            shape: None,
+        }
+    }
+
+    /// Appends a pass (builder style).
+    #[must_use]
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a boxed pass.
+    pub fn push_pass(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Pins the register shape: [`PassManager::run`] will reject circuits
+    /// whose dimension or width differs.
+    #[must_use]
+    pub fn with_shape(mut self, dimension: crate::dimension::Dimension, width: usize) -> Self {
+        self.shape = Some((dimension, width));
+        self
+    }
+
+    /// Rebuilds the pipeline with every pass transformed by `wrap` — the
+    /// hook decorating wrappers (such as `qudit-sim`'s `VerifyEquivalence`)
+    /// use to instrument an existing pipeline.
+    #[must_use]
+    pub fn map_passes(self, wrap: impl FnMut(Box<dyn Pass>) -> Box<dyn Pass>) -> Self {
+        PassManager {
+            passes: self.passes.into_iter().map(wrap).collect(),
+            shape: self.shape,
+        }
+    }
+
+    /// The names of the passes, in execution order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Returns `true` when the pipeline has no passes.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs every pass in order, profiling the circuit before and after
+    /// each one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pass error, or [`QuditError::IncompatibleCircuits`]
+    /// when the circuit does not match a pinned shape.
+    pub fn run(&self, circuit: Circuit) -> Result<PipelineReport> {
+        if let Some((dimension, width)) = self.shape {
+            if circuit.dimension() != dimension || circuit.width() != width {
+                return Err(QuditError::IncompatibleCircuits {
+                    reason: format!(
+                        "pipeline was built for d={dimension}, width={width} but got d={}, width={}",
+                        circuit.dimension(),
+                        circuit.width()
+                    ),
+                });
+            }
+        }
+        let mut current = circuit;
+        let mut stats = Vec::with_capacity(self.passes.len());
+        // Each pass's input profile is the previous pass's output profile;
+        // profile each intermediate circuit only once.
+        let mut before = CircuitProfile::of(&current);
+        for pass in &self.passes {
+            let start = Instant::now();
+            current = pass.run(current)?;
+            let elapsed = start.elapsed();
+            let after = CircuitProfile::of(&current);
+            stats.push(PassStats {
+                pass: pass.name().to_string(),
+                before,
+                after,
+                elapsed,
+            });
+            before = after;
+        }
+        Ok(PipelineReport {
+            circuit: current,
+            stats,
+        })
+    }
+
+    /// Runs the pipeline and returns only the final circuit.
+    ///
+    /// # Errors
+    ///
+    /// See [`PassManager::run`].
+    pub fn run_circuit(&self, circuit: Circuit) -> Result<Circuit> {
+        Ok(self.run(circuit)?.circuit)
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .field("shape", &self.shape)
+            .finish()
+    }
+}
+
+/// Pass removing adjacent gate/inverse pairs
+/// (wraps [`crate::optimize::cancel_inverse_pairs`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CancelInversePairs;
+
+impl Pass for CancelInversePairs {
+    fn name(&self) -> &str {
+        "cancel-inverse-pairs"
+    }
+
+    fn run(&self, circuit: Circuit) -> Result<Circuit> {
+        Ok(optimize::cancel_inverse_pairs(&circuit))
+    }
+}
+
+/// Pass lowering gates with at most one control to the elementary G-gate set
+/// `{Xij} ∪ {|0⟩-X01}` (wraps [`crate::lowering::lower_circuit`]).
+///
+/// Gates with two or more controls make this pass fail; lower them first
+/// with `qudit-synthesis`'s `LowerToElementary` pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerToGGates;
+
+impl Pass for LowerToGGates {
+    fn name(&self) -> &str {
+        "lower-to-g-gates"
+    }
+
+    fn run(&self, circuit: Circuit) -> Result<Circuit> {
+        lowering::lower_circuit(&circuit)
+    }
+}
+
+/// An ad-hoc pass built from a closure; see [`pass_fn`].
+pub struct FnPass<F> {
+    name: String,
+    run: F,
+}
+
+impl<F: Fn(Circuit) -> Result<Circuit>> Pass for FnPass<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, circuit: Circuit) -> Result<Circuit> {
+        (self.run)(circuit)
+    }
+}
+
+/// Wraps a closure as a [`Pass`], for one-off transformations and tests.
+pub fn pass_fn<F: Fn(Circuit) -> Result<Circuit>>(name: impl Into<String>, run: F) -> FnPass<F> {
+    FnPass {
+        name: name.into(),
+        run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+    use crate::dimension::Dimension;
+    use crate::gate::Gate;
+    use crate::ops::SingleQuditOp;
+    use crate::qudit::QuditId;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn sample_circuit() -> Circuit {
+        let mut circuit = Circuit::new(dim(3), 2);
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::level(QuditId::new(0), 2)],
+            ))
+            .unwrap();
+        circuit
+    }
+
+    #[test]
+    fn empty_manager_is_identity() {
+        let circuit = sample_circuit();
+        let report = PassManager::new().run(circuit.clone()).unwrap();
+        assert_eq!(report.circuit, circuit);
+        assert!(report.stats.is_empty());
+        assert!(PassManager::new().is_empty());
+    }
+
+    #[test]
+    fn passes_run_in_order_and_record_stats() {
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_pass(CancelInversePairs);
+        assert_eq!(
+            manager.pass_names(),
+            vec!["lower-to-g-gates", "cancel-inverse-pairs"]
+        );
+        let report = manager.run(sample_circuit()).unwrap();
+        assert!(report.circuit.gates().iter().all(Gate::is_g_gate));
+        assert_eq!(report.stats.len(), 2);
+        assert_eq!(report.stats[0].pass, "lower-to-g-gates");
+        assert_eq!(report.stats[0].before.gates, 1);
+        assert_eq!(report.stats[0].after.gates, report.stats[1].before.gates);
+        assert_eq!(report.stats[1].after.gates, report.circuit.len());
+        assert!(report.stats_for("lower-to-g-gates").is_some());
+        assert!(report.stats_for("nonexistent").is_none());
+        assert!(report.total_elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn g_gate_lowering_preserves_basis_action() {
+        let circuit = sample_circuit();
+        let lowered = PassManager::new()
+            .with_pass(LowerToGGates)
+            .run_circuit(circuit.clone())
+            .unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(
+                    circuit.apply_to_basis(&[a, b]).unwrap(),
+                    lowered.apply_to_basis(&[a, b]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_pinning_rejects_mismatched_circuits() {
+        let manager = PassManager::new()
+            .with_pass(CancelInversePairs)
+            .with_shape(dim(3), 3);
+        assert!(matches!(
+            manager.run(sample_circuit()),
+            Err(QuditError::IncompatibleCircuits { .. })
+        ));
+        let ok = PassManager::new()
+            .with_pass(CancelInversePairs)
+            .with_shape(dim(3), 2);
+        assert!(ok.run(sample_circuit()).is_ok());
+    }
+
+    #[test]
+    fn fn_pass_and_map_passes_compose() {
+        let reverse = pass_fn("reverse", |c: Circuit| Ok(c.inverse()));
+        let manager = PassManager::new().with_pass(reverse);
+        let report = manager.run(sample_circuit()).unwrap();
+        assert_eq!(report.stats[0].pass, "reverse");
+
+        // Decorate every pass with a renaming wrapper.
+        struct Renamed {
+            name: String,
+            inner: Box<dyn Pass>,
+        }
+        impl Pass for Renamed {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn run(&self, circuit: Circuit) -> Result<Circuit> {
+                self.inner.run(circuit)
+            }
+        }
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .map_passes(|inner| {
+                Box::new(Renamed {
+                    name: format!("wrapped({})", inner.name()),
+                    inner,
+                })
+            });
+        assert_eq!(manager.pass_names(), vec!["wrapped(lower-to-g-gates)"]);
+        assert!(manager.run(sample_circuit()).is_ok());
+    }
+
+    #[test]
+    fn pass_errors_propagate() {
+        let failing = pass_fn("fail", |_| {
+            Err(QuditError::PassFailed {
+                pass: "fail".into(),
+                reason: "boom".into(),
+            })
+        });
+        let manager = PassManager::new().with_pass(failing);
+        assert!(matches!(
+            manager.run(sample_circuit()),
+            Err(QuditError::PassFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_counts_are_consistent() {
+        let circuit = sample_circuit();
+        let profile = CircuitProfile::of(&circuit);
+        assert_eq!(profile.gates, 1);
+        assert_eq!(profile.two_qudit_gates, 1);
+        assert_eq!(profile.depth, 1);
+        assert_eq!(profile.max_controls, 1);
+        assert_eq!(profile.active_qudits, 2);
+        assert_eq!(profile.g_gates, 0);
+    }
+
+    #[test]
+    fn stats_display_and_deltas() {
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_pass(CancelInversePairs);
+        let report = manager.run(sample_circuit()).unwrap();
+        let lowering = &report.stats[0];
+        assert!(lowering.gate_delta() > 0);
+        assert!(lowering.to_string().contains("lower-to-g-gates"));
+        assert!(report.to_string().contains("final:"));
+    }
+}

@@ -75,10 +75,7 @@ mod tests {
     #[test]
     fn range_builder() {
         assert_eq!(qudit_range(0, 0), Vec::<QuditId>::new());
-        assert_eq!(
-            qudit_range(1, 2),
-            vec![QuditId::new(1), QuditId::new(2)]
-        );
+        assert_eq!(qudit_range(1, 2), vec![QuditId::new(1), QuditId::new(2)]);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use qudit_core::depth::circuit_depth;
 use qudit_core::lowering::lower_circuit;
-use qudit_core::optimize::cancel_inverse_pairs;
+use qudit_core::pipeline::{CancelInversePairs, LowerToGGates, PassManager};
 use qudit_core::{
     Circuit, Control, ControlPredicate, Dimension, Gate, Permutation, QuditId, SingleQuditOp,
 };
@@ -162,8 +162,14 @@ proptest! {
             })
             .collect();
         let circuit = build_circuit(&specs, dimension, 3);
+        // Route the lower-then-cancel chain through the pass pipeline.
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_pass(CancelInversePairs);
+        let report = manager.run(circuit.clone()).unwrap();
         let lowered = lower_circuit(&circuit).unwrap();
-        let optimized = cancel_inverse_pairs(&lowered);
+        prop_assert_eq!(&report.stats[0].after.gates, &lowered.len());
+        let optimized = report.circuit;
         let mut round_trip = circuit.clone();
         round_trip.append(&circuit.inverse()).unwrap();
         for state in all_states(dimension, 3) {

@@ -36,7 +36,10 @@ impl ReversibleFunction {
     pub fn from_table(dimension: Dimension, variables: usize, table: Vec<usize>) -> Result<Self> {
         let size = dimension.register_size(variables);
         if table.len() != size {
-            return Err(QuditError::MatrixShapeMismatch { found: table.len(), expected: size });
+            return Err(QuditError::MatrixShapeMismatch {
+                found: table.len(),
+                expected: size,
+            });
         }
         let mut seen = vec![false; size];
         for &image in &table {
@@ -45,13 +48,21 @@ impl ReversibleFunction {
             }
             seen[image] = true;
         }
-        Ok(ReversibleFunction { dimension, variables, table })
+        Ok(ReversibleFunction {
+            dimension,
+            variables,
+            table,
+        })
     }
 
     /// The identity function on `n` variables.
     pub fn identity(dimension: Dimension, variables: usize) -> Self {
         let size = dimension.register_size(variables);
-        ReversibleFunction { dimension, variables, table: (0..size).collect() }
+        ReversibleFunction {
+            dimension,
+            variables,
+            table: (0..size).collect(),
+        }
     }
 
     /// A uniformly random reversible function.
@@ -62,7 +73,11 @@ impl ReversibleFunction {
             let j = rng.gen_range(0..=i);
             table.swap(i, j);
         }
-        ReversibleFunction { dimension, variables, table }
+        ReversibleFunction {
+            dimension,
+            variables,
+            table,
+        }
     }
 
     /// The single 2-cycle exchanging basis states `a` and `b`.
@@ -79,7 +94,11 @@ impl ReversibleFunction {
         }
         let mut table: Vec<usize> = (0..dimension.register_size(variables)).collect();
         table.swap(ia, ib);
-        Ok(ReversibleFunction { dimension, variables, table })
+        Ok(ReversibleFunction {
+            dimension,
+            variables,
+            table,
+        })
     }
 
     /// The qudit dimension `d`.
@@ -105,7 +124,11 @@ impl ReversibleFunction {
     /// out-of-range digits.
     pub fn apply(&self, digits: &[u32]) -> Result<Vec<u32>> {
         let index = digits_to_index(digits, self.dimension, self.variables)?;
-        Ok(index_to_digits(self.table[index], self.dimension, self.variables))
+        Ok(index_to_digits(
+            self.table[index],
+            self.dimension,
+            self.variables,
+        ))
     }
 
     /// The inverse function.
@@ -114,7 +137,11 @@ impl ReversibleFunction {
         for (from, &to) in self.table.iter().enumerate() {
             table[to] = from;
         }
-        ReversibleFunction { dimension: self.dimension, variables: self.variables, table }
+        ReversibleFunction {
+            dimension: self.dimension,
+            variables: self.variables,
+            table,
+        }
     }
 
     /// The composition `self ∘ other` (apply `other` first).
@@ -124,9 +151,16 @@ impl ReversibleFunction {
     /// Panics if the functions have different dimensions or variable counts.
     pub fn compose(&self, other: &ReversibleFunction) -> ReversibleFunction {
         assert_eq!(self.dimension, other.dimension, "dimensions must match");
-        assert_eq!(self.variables, other.variables, "variable counts must match");
+        assert_eq!(
+            self.variables, other.variables,
+            "variable counts must match"
+        );
         let table = other.table.iter().map(|&mid| self.table[mid]).collect();
-        ReversibleFunction { dimension: self.dimension, variables: self.variables, table }
+        ReversibleFunction {
+            dimension: self.dimension,
+            variables: self.variables,
+            table,
+        }
     }
 
     /// Returns `true` if this is the identity function.
@@ -169,7 +203,10 @@ impl ReversibleFunction {
 
 fn digits_to_index(digits: &[u32], dimension: Dimension, variables: usize) -> Result<usize> {
     if digits.len() != variables {
-        return Err(QuditError::QuditOutOfRange { qudit: digits.len(), width: variables });
+        return Err(QuditError::QuditOutOfRange {
+            qudit: digits.len(),
+            width: variables,
+        });
     }
     let mut index = 0usize;
     for &digit in digits {

@@ -28,7 +28,10 @@ use qudit_core::Dimension;
 /// # }
 /// ```
 pub fn g_gate_lower_bound(dimension: Dimension, variables: usize, ancilla_factor: usize) -> f64 {
-    assert!(variables > 0, "the lower bound is defined for at least one variable");
+    assert!(
+        variables > 0,
+        "the lower bound is defined for at least one variable"
+    );
     assert!(ancilla_factor > 0, "the ancilla factor c must be positive");
     let d = dimension.get() as f64;
     let n = variables as f64;

@@ -91,7 +91,10 @@ impl ReversibleSynthesizer {
     /// Returns an error when `d < 3`.
     pub fn new(dimension: Dimension) -> Result<Self, SynthesisError> {
         if dimension.get() < 3 {
-            return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+            return Err(SynthesisError::DimensionTooSmall {
+                dimension: dimension.get(),
+                minimum: 3,
+            });
         }
         Ok(ReversibleSynthesizer { dimension })
     }
@@ -110,7 +113,10 @@ impl ReversibleSynthesizer {
     ///
     /// Returns an error when the function's dimension does not match the
     /// compiler's, or when circuit construction fails.
-    pub fn synthesize(&self, function: &ReversibleFunction) -> Result<ReversibleSynthesis, SynthesisError> {
+    pub fn synthesize(
+        &self,
+        function: &ReversibleFunction,
+    ) -> Result<ReversibleSynthesis, SynthesisError> {
         if function.dimension() != self.dimension {
             return Err(SynthesisError::Lowering {
                 reason: format!(
@@ -127,7 +133,11 @@ impl ReversibleSynthesizer {
         let needs_borrowed = dimension.is_even() && n >= 3;
         let width = n + usize::from(needs_borrowed);
         let variables: Vec<QuditId> = (0..n).map(QuditId::new).collect();
-        let borrowed = if needs_borrowed { Some(QuditId::new(n)) } else { None };
+        let borrowed = if needs_borrowed {
+            Some(QuditId::new(n))
+        } else {
+            None
+        };
         let borrowed_pool: Vec<QuditId> = borrowed.into_iter().collect();
 
         let mut circuit = Circuit::new(dimension, width);
@@ -144,7 +154,11 @@ impl ReversibleSynthesizer {
         let resources = Resources::for_circuit(&circuit, ancillas)?;
         Ok(ReversibleSynthesis {
             circuit,
-            layout: ReversibleLayout { variables, borrowed_ancilla: borrowed, width },
+            layout: ReversibleLayout {
+                variables,
+                borrowed_ancilla: borrowed,
+                width,
+            },
             resources,
             two_cycles: cycles.len(),
         })
@@ -238,7 +252,10 @@ mod tests {
             let actual = circuit.apply_to_basis(&state).unwrap();
             assert_eq!(&actual[..n], expected_vars.as_slice(), "input {state:?}");
             for extra in n..synthesis.layout().width {
-                assert_eq!(actual[extra], state[extra], "borrowed ancilla changed for {state:?}");
+                assert_eq!(
+                    actual[extra], state[extra],
+                    "borrowed ancilla changed for {state:?}"
+                );
             }
         }
     }
@@ -247,7 +264,10 @@ mod tests {
     fn single_two_cycle_matches_fig_11() {
         let d = dim(3);
         let f = ReversibleFunction::two_cycle(d, 3, &[0, 1, 2], &[2, 1, 0]).unwrap();
-        let synthesis = ReversibleSynthesizer::new(d).unwrap().synthesize(&f).unwrap();
+        let synthesis = ReversibleSynthesizer::new(d)
+            .unwrap()
+            .synthesize(&f)
+            .unwrap();
         check_synthesis(&f, &synthesis);
         assert_eq!(synthesis.two_cycles(), 1);
         assert_eq!(synthesis.resources().total_ancillas(), 0);
@@ -259,9 +279,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         for n in [1usize, 2, 3] {
             let f = ReversibleFunction::random(d, n, &mut rng);
-            let synthesis = ReversibleSynthesizer::new(d).unwrap().synthesize(&f).unwrap();
+            let synthesis = ReversibleSynthesizer::new(d)
+                .unwrap()
+                .synthesize(&f)
+                .unwrap();
             check_synthesis(&f, &synthesis);
-            assert_eq!(synthesis.resources().total_ancillas(), 0, "odd d must be ancilla-free");
+            assert_eq!(
+                synthesis.resources().total_ancillas(),
+                0,
+                "odd d must be ancilla-free"
+            );
         }
     }
 
@@ -271,7 +298,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(29);
         for n in [2usize, 3] {
             let f = ReversibleFunction::random(d, n, &mut rng);
-            let synthesis = ReversibleSynthesizer::new(d).unwrap().synthesize(&f).unwrap();
+            let synthesis = ReversibleSynthesizer::new(d)
+                .unwrap()
+                .synthesize(&f)
+                .unwrap();
             check_synthesis(&f, &synthesis);
             let expected_ancillas = usize::from(n >= 3);
             assert_eq!(synthesis.resources().borrowed_ancillas(), expected_ancillas);
@@ -282,7 +312,10 @@ mod tests {
     fn identity_compiles_to_the_empty_circuit() {
         let d = dim(5);
         let f = ReversibleFunction::identity(d, 3);
-        let synthesis = ReversibleSynthesizer::new(d).unwrap().synthesize(&f).unwrap();
+        let synthesis = ReversibleSynthesizer::new(d)
+            .unwrap()
+            .synthesize(&f)
+            .unwrap();
         assert!(synthesis.circuit().is_empty());
         assert_eq!(synthesis.two_cycles(), 0);
     }
@@ -293,7 +326,10 @@ mod tests {
         // position is that one and step 1 is empty.
         let d = dim(3);
         let f = ReversibleFunction::two_cycle(d, 3, &[1, 0, 2], &[1, 2, 2]).unwrap();
-        let synthesis = ReversibleSynthesizer::new(d).unwrap().synthesize(&f).unwrap();
+        let synthesis = ReversibleSynthesizer::new(d)
+            .unwrap()
+            .synthesize(&f)
+            .unwrap();
         check_synthesis(&f, &synthesis);
     }
 
@@ -313,7 +349,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         for n in [2usize, 3] {
             let f = ReversibleFunction::random(d, n, &mut rng);
-            let synthesis = ReversibleSynthesizer::new(d).unwrap().synthesize(&f).unwrap();
+            let synthesis = ReversibleSynthesizer::new(d)
+                .unwrap()
+                .synthesize(&f)
+                .unwrap();
             let g = synthesis.resources().g_gates;
             let cycles = synthesis.two_cycles().max(1);
             assert!(

@@ -28,7 +28,10 @@ pub fn digits_to_index(digits: &[u32], dimension: Dimension) -> usize {
     let d = dimension.as_usize();
     let mut index = 0usize;
     for &digit in digits {
-        assert!((digit as usize) < d, "digit {digit} out of range for dimension {d}");
+        assert!(
+            (digit as usize) < d,
+            "digit {digit} out of range for dimension {d}"
+        );
         index = index * d + digit as usize;
     }
     index

@@ -30,7 +30,11 @@ pub struct MctSpec {
 impl MctSpec {
     /// Creates a specification for the k-Toffoli gate (`op = X01`).
     pub fn toffoli(controls: Vec<QuditId>, target: QuditId) -> Self {
-        MctSpec { controls, target, op: SingleQuditOp::Swap(0, 1) }
+        MctSpec {
+            controls,
+            target,
+            op: SingleQuditOp::Swap(0, 1),
+        }
     }
 
     /// Computes the expected output basis state for a given input.
@@ -89,11 +93,17 @@ pub fn verify_mct_exhaustive(circuit: &Circuit, spec: &MctSpec) -> Result<Verifi
         let expected = spec.expected_output(&input, dimension)?;
         let actual = circuit.apply_to_basis(&input)?;
         if actual != expected {
-            return Ok(Verification::Fail { input, expected, actual });
+            return Ok(Verification::Fail {
+                input,
+                expected,
+                actual,
+            });
         }
         checked += 1;
     }
-    Ok(Verification::Pass { inputs_checked: checked })
+    Ok(Verification::Pass {
+        inputs_checked: checked,
+    })
 }
 
 /// Verifies an [`MctSpec`] on `samples` uniformly random basis states.
@@ -112,25 +122,33 @@ pub fn verify_mct_sampled<R: Rng>(
 ) -> Result<Verification> {
     let dimension = circuit.dimension();
     let width = circuit.width();
-    let d = dimension.get();
+    let spec_controls: Vec<qudit_core::Control> = spec
+        .controls
+        .iter()
+        .map(|&q| qudit_core::Control::zero(q))
+        .collect();
     let mut checked = 0usize;
     for sample in 0..samples {
         // Bias half of the samples towards all-zero controls so that the
         // "fire" branch is exercised even for large k.
-        let mut input: Vec<u32> = (0..width).map(|_| rng.gen_range(0..d)).collect();
+        let mut input = crate::sampling::uniform_basis_state(dimension, width, rng);
         if sample % 2 == 0 {
-            for c in &spec.controls {
-                input[c.index()] = 0;
-            }
+            crate::sampling::force_controls_matching(&mut input, &spec_controls, dimension, rng);
         }
         let expected = spec.expected_output(&input, dimension)?;
         let actual = circuit.apply_to_basis(&input)?;
         if actual != expected {
-            return Ok(Verification::Fail { input, expected, actual });
+            return Ok(Verification::Fail {
+                input,
+                expected,
+                actual,
+            });
         }
         checked += 1;
     }
-    Ok(Verification::Pass { inputs_checked: checked })
+    Ok(Verification::Pass {
+        inputs_checked: checked,
+    })
 }
 
 /// Exhaustively verifies a circuit that uses one clean ancilla: only inputs
@@ -155,11 +173,17 @@ pub fn verify_mct_with_clean_ancilla(
         let expected = spec.expected_output(&input, dimension)?;
         let actual = circuit.apply_to_basis(&input)?;
         if actual != expected {
-            return Ok(Verification::Fail { input, expected, actual });
+            return Ok(Verification::Fail {
+                input,
+                expected,
+                actual,
+            });
         }
         checked += 1;
     }
-    Ok(Verification::Pass { inputs_checked: checked })
+    Ok(Verification::Pass {
+        inputs_checked: checked,
+    })
 }
 
 /// Builds the ideal unitary of a multi-controlled single-qudit gate
@@ -258,7 +282,12 @@ mod tests {
         let spec = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(2)], QuditId::new(1));
         let verdict = verify_mct_exhaustive(&circuit, &spec).unwrap();
         assert!(!verdict.is_pass());
-        if let Verification::Fail { input, expected, actual } = verdict {
+        if let Verification::Fail {
+            input,
+            expected,
+            actual,
+        } = verdict
+        {
             assert_ne!(expected, actual);
             assert_eq!(input.len(), 3);
         }
@@ -273,7 +302,9 @@ mod tests {
             QuditId::new(3),
         );
         let mut rng = StdRng::seed_from_u64(7);
-        assert!(verify_mct_sampled(&circuit, &spec, 64, &mut rng).unwrap().is_pass());
+        assert!(verify_mct_sampled(&circuit, &spec, 64, &mut rng)
+            .unwrap()
+            .is_pass());
     }
 
     #[test]
@@ -295,15 +326,21 @@ mod tests {
         assert!(!verify_mct_exhaustive(&circuit, &spec).unwrap().is_pass());
         // …but clean-ancilla semantics still hold? No: the ancilla is changed
         // even when it starts in |0⟩ (whenever x0 = 1), so this also fails.
-        assert!(!verify_mct_with_clean_ancilla(&circuit, &spec, QuditId::new(3))
-            .unwrap()
-            .is_pass());
+        assert!(
+            !verify_mct_with_clean_ancilla(&circuit, &spec, QuditId::new(3))
+                .unwrap()
+                .is_pass()
+        );
         // The untouched widened circuit satisfies both contracts.
         let clean_circuit = macro_toffoli(d, 2).widened(4).unwrap();
-        assert!(verify_mct_exhaustive(&clean_circuit, &spec).unwrap().is_pass());
-        assert!(verify_mct_with_clean_ancilla(&clean_circuit, &spec, QuditId::new(3))
+        assert!(verify_mct_exhaustive(&clean_circuit, &spec)
             .unwrap()
             .is_pass());
+        assert!(
+            verify_mct_with_clean_ancilla(&clean_circuit, &spec, QuditId::new(3))
+                .unwrap()
+                .is_pass()
+        );
     }
 
     #[test]

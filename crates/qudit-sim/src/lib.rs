@@ -12,6 +12,8 @@
 //! * [`equivalence`] — specification checkers for multi-controlled gates with
 //!   borrowed- or clean-ancilla semantics, and unitary equivalence up to
 //!   global phase;
+//! * [`pipeline`] — the [`VerifyEquivalence`] pass wrapper that makes any
+//!   compilation pipeline self-check semantics preservation after each stage;
 //! * [`random`] — random unitaries, permutations and reversible functions for
 //!   workloads.
 //!
@@ -41,9 +43,12 @@
 pub mod basis;
 pub mod equivalence;
 pub mod permutation_sim;
+pub mod pipeline;
 pub mod random;
+mod sampling;
 pub mod statevector;
 
 pub use equivalence::{MctSpec, Verification};
 pub use permutation_sim::{circuit_permutation, classical_circuits_equal, PermutationSimulator};
+pub use pipeline::VerifyEquivalence;
 pub use statevector::{circuit_unitary, StateVector};

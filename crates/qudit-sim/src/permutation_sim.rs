@@ -41,7 +41,10 @@ pub struct PermutationSimulator {
 impl PermutationSimulator {
     /// Creates a simulator in the all-zeros state.
     pub fn new(dimension: Dimension, width: usize) -> Self {
-        PermutationSimulator { dimension, state: vec![0; width] }
+        PermutationSimulator {
+            dimension,
+            state: vec![0; width],
+        }
     }
 
     /// Creates a simulator initialised to the given basis state.
@@ -53,7 +56,10 @@ impl PermutationSimulator {
         for &digit in state {
             dimension.check_level(digit)?;
         }
-        Ok(PermutationSimulator { dimension, state: state.to_vec() })
+        Ok(PermutationSimulator {
+            dimension,
+            state: state.to_vec(),
+        })
     }
 
     /// The current basis state.
@@ -200,7 +206,8 @@ mod tests {
     fn inverse_circuit_gives_inverse_permutation() {
         let d = dim(5);
         let mut c = Circuit::new(d, 2);
-        c.push(Gate::single(SingleQuditOp::Add(3), QuditId::new(0))).unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(3), QuditId::new(0)))
+            .unwrap();
         c.push(Gate::controlled(
             SingleQuditOp::Swap(1, 4),
             QuditId::new(1),

@@ -81,7 +81,11 @@ pub fn random_permutation<R: Rng>(size: usize, rng: &mut R) -> Vec<usize> {
 
 /// Generates a uniformly random `n`-variable `d`-ary reversible function,
 /// given as a permutation table over the `d^n` basis states.
-pub fn random_reversible_table<R: Rng>(dimension: Dimension, width: usize, rng: &mut R) -> Vec<usize> {
+pub fn random_reversible_table<R: Rng>(
+    dimension: Dimension,
+    width: usize,
+    rng: &mut R,
+) -> Vec<usize> {
     random_permutation(dimension.register_size(width), rng)
 }
 

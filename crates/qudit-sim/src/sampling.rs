@@ -1,0 +1,36 @@
+//! Shared basis-state sampling helpers for the equivalence checkers.
+//!
+//! Uniform basis states almost never satisfy a deep multi-controlled gate
+//! (probability `d^-k`), so both [`crate::equivalence::verify_mct_sampled`]
+//! and the sampled path of [`crate::pipeline::VerifyEquivalence`] bias a
+//! fraction of their samples onto firing control patterns using these
+//! helpers.
+
+use qudit_core::{Control, Dimension};
+use rand::Rng;
+
+/// Draws a uniform basis state over `width` qudits.
+pub(crate) fn uniform_basis_state<R: Rng>(
+    dimension: Dimension,
+    width: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    let d = dimension.get();
+    (0..width).map(|_| rng.gen_range(0..d)).collect()
+}
+
+/// Forces each control's qudit onto a uniformly chosen matching level, so
+/// the sampled state exercises the controls' firing branch.
+pub(crate) fn force_controls_matching<R: Rng>(
+    input: &mut [u32],
+    controls: &[Control],
+    dimension: Dimension,
+    rng: &mut R,
+) {
+    for control in controls {
+        let levels = control.predicate.matching_levels(dimension);
+        if !levels.is_empty() {
+            input[control.qudit.index()] = levels[rng.gen_range(0..levels.len())];
+        }
+    }
+}

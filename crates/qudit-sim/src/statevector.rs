@@ -1,10 +1,24 @@
 //! State-vector simulation of qudit circuits, including non-classical
 //! (unitary) gates.
+//!
+//! Gates are applied *in place*: every gate (classical or single-qudit
+//! unitary) only rewrites the target digit, so the amplitude vector splits
+//! into independent blocks of `d` amplitudes at target-digit stride, and a
+//! single `d`-element scratch buffer — reused across a whole
+//! [`StateVector::apply_circuit`] — suffices.  Control predicates are
+//! evaluated directly from the mixed-radix index with stride arithmetic;
+//! no full digit decoding and no `d^width` temporary is ever needed.
 
 use qudit_core::math::{Complex, SquareMatrix};
 use qudit_core::{Circuit, Dimension, Gate, GateOp, QuditError, Result, SingleQuditOp};
 
 use crate::basis::{digits_to_index, index_to_digits};
+
+/// The digit of qudit with the given stride in a mixed-radix index.
+#[inline]
+fn digit_at(index: usize, stride: usize, d: usize) -> u32 {
+    ((index / stride) % d) as u32
+}
 
 /// A full state vector over `width` qudits of dimension `d`.
 ///
@@ -41,7 +55,11 @@ impl StateVector {
         let size = dimension.register_size(width);
         let mut amplitudes = vec![Complex::ZERO; size];
         amplitudes[0] = Complex::ONE;
-        StateVector { dimension, width, amplitudes }
+        StateVector {
+            dimension,
+            width,
+            amplitudes,
+        }
     }
 
     /// Creates the basis state with the given digits.
@@ -56,7 +74,11 @@ impl StateVector {
         let size = dimension.register_size(digits.len());
         let mut amplitudes = vec![Complex::ZERO; size];
         amplitudes[digits_to_index(digits, dimension)] = Complex::ONE;
-        Ok(StateVector { dimension, width: digits.len(), amplitudes })
+        Ok(StateVector {
+            dimension,
+            width: digits.len(),
+            amplitudes,
+        })
     }
 
     /// Creates a state vector from raw amplitudes.
@@ -64,12 +86,23 @@ impl StateVector {
     /// # Errors
     ///
     /// Returns an error when the number of amplitudes is not `d^width`.
-    pub fn from_amplitudes(dimension: Dimension, width: usize, amplitudes: Vec<Complex>) -> Result<Self> {
+    pub fn from_amplitudes(
+        dimension: Dimension,
+        width: usize,
+        amplitudes: Vec<Complex>,
+    ) -> Result<Self> {
         let expected = dimension.register_size(width);
         if amplitudes.len() != expected {
-            return Err(QuditError::MatrixShapeMismatch { found: amplitudes.len(), expected });
+            return Err(QuditError::MatrixShapeMismatch {
+                found: amplitudes.len(),
+                expected,
+            });
         }
-        Ok(StateVector { dimension, width, amplitudes })
+        Ok(StateVector {
+            dimension,
+            width,
+            amplitudes,
+        })
     }
 
     /// The qudit dimension.
@@ -108,7 +141,11 @@ impl StateVector {
     ///
     /// Panics if the states have different sizes.
     pub fn inner_product(&self, other: &StateVector) -> Complex {
-        assert_eq!(self.amplitudes.len(), other.amplitudes.len(), "state sizes must match");
+        assert_eq!(
+            self.amplitudes.len(),
+            other.amplitudes.len(),
+            "state sizes must match"
+        );
         self.amplitudes
             .iter()
             .zip(other.amplitudes.iter())
@@ -127,68 +164,125 @@ impl StateVector {
     ///
     /// Returns an error when the gate refers to qudits outside the register.
     pub fn apply_gate(&mut self, gate: &Gate) -> Result<()> {
+        let mut scratch = vec![Complex::ZERO; self.dimension.as_usize()];
+        self.apply_gate_with_scratch(gate, &mut scratch)
+    }
+
+    /// The stride of a qudit's digit in the mixed-radix amplitude index.
+    #[inline]
+    fn stride_of(&self, qudit: usize) -> usize {
+        self.dimension
+            .as_usize()
+            .pow((self.width - 1 - qudit) as u32)
+    }
+
+    /// Applies a gate in place, using (and clobbering) a caller-provided
+    /// `d`-element scratch buffer.
+    fn apply_gate_with_scratch(&mut self, gate: &Gate, scratch: &mut [Complex]) -> Result<()> {
         gate.validate(self.dimension, self.width)?;
-        if gate.is_classical() {
-            self.apply_classical(gate)
-        } else {
-            self.apply_unitary(gate)
-        }
-    }
-
-    fn apply_classical(&mut self, gate: &Gate) -> Result<()> {
-        let size = self.amplitudes.len();
-        let mut next = vec![Complex::ZERO; size];
-        for (index, amp) in self.amplitudes.iter().enumerate() {
-            if *amp == Complex::ZERO {
-                continue;
-            }
-            let mut digits = index_to_digits(index, self.dimension, self.width);
-            gate.apply_to_basis(&mut digits, self.dimension)?;
-            next[digits_to_index(&digits, self.dimension)] += *amp;
-        }
-        self.amplitudes = next;
-        Ok(())
-    }
-
-    fn apply_unitary(&mut self, gate: &Gate) -> Result<()> {
-        let matrix = match gate.op() {
-            GateOp::Single(SingleQuditOp::Unitary(m)) => m.clone(),
-            GateOp::Single(op) => op.to_matrix(self.dimension),
-            GateOp::AddFrom { .. } => unreachable!("AddFrom gates are classical"),
-        };
         let d = self.dimension.as_usize();
-        let size = self.amplitudes.len();
-        let target = gate.target().index();
-        // Stride of the target digit in the mixed-radix index.
-        let stride = d.pow((self.width - 1 - target) as u32);
-        let mut next = self.amplitudes.clone();
-        for index in 0..size {
-            let digits = index_to_digits(index, self.dimension, self.width);
-            if !gate.fires(&digits) {
-                continue;
-            }
-            let t_digit = digits[target] as usize;
-            if t_digit != 0 {
-                continue; // Handle each target block once, starting from digit 0.
-            }
-            // Mix the d amplitudes that differ only in the target digit.
-            let mut column = vec![Complex::ZERO; d];
-            for (j, slot) in column.iter_mut().enumerate() {
-                *slot = self.amplitudes[index + j * stride];
-            }
-            for i in 0..d {
-                let mut acc = Complex::ZERO;
-                for (j, value) in column.iter().enumerate() {
-                    acc += matrix[(i, j)] * *value;
+        debug_assert_eq!(scratch.len(), d);
+        let t_stride = self.stride_of(gate.target().index());
+        // Controls as (stride, predicate) pairs: the control digit of a
+        // block is read straight off the block's base index.
+        let controls: Vec<(usize, qudit_core::ControlPredicate)> = gate
+            .controls()
+            .iter()
+            .map(|c| (self.stride_of(c.qudit.index()), c.predicate))
+            .collect();
+
+        // The per-block action on the target digit.
+        enum Action<'m> {
+            /// Classical permutation of the target levels.
+            Permute(Vec<usize>),
+            /// Shift the target by (±) the digit of the source qudit.
+            ShiftBySource { source_stride: usize, negate: bool },
+            /// General single-qudit unitary.
+            Mix(&'m SquareMatrix),
+        }
+
+        let owned_matrix: SquareMatrix;
+        let action = match gate.op() {
+            GateOp::AddFrom { source, negate } => Action::ShiftBySource {
+                source_stride: self.stride_of(source.index()),
+                negate: *negate,
+            },
+            GateOp::Single(op) if op.is_classical() => {
+                let mut permutation = vec![0usize; d];
+                for (level, slot) in permutation.iter_mut().enumerate() {
+                    *slot = op.apply_level(level as u32, self.dimension)? as usize;
                 }
-                next[index + i * stride] = acc;
+                Action::Permute(permutation)
+            }
+            GateOp::Single(SingleQuditOp::Unitary(matrix)) => Action::Mix(matrix),
+            GateOp::Single(op) => {
+                owned_matrix = op.to_matrix(self.dimension);
+                Action::Mix(&owned_matrix)
+            }
+        };
+
+        // Iterate the target-digit blocks directly: `base` ranges over every
+        // index whose target digit is 0.
+        let block = t_stride * d;
+        let size = self.amplitudes.len();
+        for outer in (0..size).step_by(block) {
+            for inner in 0..t_stride {
+                let base = outer + inner;
+                // Gather the block and skip it when it carries no amplitude —
+                // the dominant case for (near-)basis states, which classical
+                // circuits keep sparse.
+                let mut occupied = false;
+                for (level, slot) in scratch.iter_mut().enumerate() {
+                    *slot = self.amplitudes[base + level * t_stride];
+                    occupied |= *slot != Complex::ZERO;
+                }
+                if !occupied {
+                    continue;
+                }
+                let fires = controls
+                    .iter()
+                    .all(|&(stride, predicate)| predicate.matches(digit_at(base, stride, d)));
+                if !fires {
+                    continue;
+                }
+                match &action {
+                    Action::Permute(permutation) => {
+                        for (level, &image) in permutation.iter().enumerate() {
+                            self.amplitudes[base + image * t_stride] = scratch[level];
+                        }
+                    }
+                    Action::ShiftBySource {
+                        source_stride,
+                        negate,
+                    } => {
+                        let value = digit_at(base, *source_stride, d) as usize;
+                        let shift = if *negate { (d - value) % d } else { value };
+                        if shift == 0 {
+                            continue;
+                        }
+                        for (level, &amp) in scratch.iter().enumerate() {
+                            self.amplitudes[base + (level + shift) % d * t_stride] = amp;
+                        }
+                    }
+                    Action::Mix(matrix) => {
+                        for row in 0..d {
+                            let mut acc = Complex::ZERO;
+                            for (column, &amp) in scratch.iter().enumerate() {
+                                acc += matrix[(row, column)] * amp;
+                            }
+                            self.amplitudes[base + row * t_stride] = acc;
+                        }
+                    }
+                }
             }
         }
-        self.amplitudes = next;
         Ok(())
     }
 
     /// Applies every gate of a circuit in order.
+    ///
+    /// A single `d`-element scratch buffer is allocated once and reused for
+    /// every gate; the amplitude vector itself is updated in place.
     ///
     /// # Errors
     ///
@@ -205,8 +299,9 @@ impl StateVector {
                 reason: "circuit is wider than the state register".to_string(),
             });
         }
+        let mut scratch = vec![Complex::ZERO; self.dimension.as_usize()];
         for gate in circuit.gates() {
-            self.apply_gate(gate)?;
+            self.apply_gate_with_scratch(gate, &mut scratch)?;
         }
         Ok(())
     }

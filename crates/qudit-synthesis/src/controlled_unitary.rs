@@ -88,10 +88,17 @@ impl ControlledUnitary {
     /// dimension.
     pub fn new(dimension: Dimension, controls: usize, op: SingleQuditOp) -> Result<Self> {
         if dimension.get() < 3 {
-            return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+            return Err(SynthesisError::DimensionTooSmall {
+                dimension: dimension.get(),
+                minimum: 3,
+            });
         }
         op.validate(dimension)?;
-        Ok(ControlledUnitary { dimension, controls, op })
+        Ok(ControlledUnitary {
+            dimension,
+            controls,
+            op,
+        })
     }
 
     /// The qudit dimension.
@@ -149,7 +156,12 @@ impl ControlledUnitary {
         };
         Ok(ControlledUnitarySynthesis {
             circuit,
-            layout: ControlledUnitaryLayout { controls, target, clean_ancilla: clean, width },
+            layout: ControlledUnitaryLayout {
+                controls,
+                target,
+                clean_ancilla: clean,
+                width,
+            },
             resources,
         })
     }
@@ -175,7 +187,11 @@ pub fn emit_controlled_unitary(
     let k = controls.len();
     if k <= 1 {
         let zero_controls: Vec<Control> = controls.iter().map(|&q| Control::zero(q)).collect();
-        circuit.push(Gate::new(qudit_core::GateOp::Single(op.clone()), target, zero_controls))?;
+        circuit.push(Gate::new(
+            qudit_core::GateOp::Single(op.clone()),
+            target,
+            zero_controls,
+        ))?;
         return Ok(());
     }
     if controls.contains(&clean_ancilla) || clean_ancilla == target {
@@ -257,7 +273,11 @@ mod tests {
                 if state[..k].iter().all(|&x| x == 0) {
                     expected[k] = (expected[k] + 1) % d;
                 }
-                assert_eq!(circuit.apply_to_basis(&state).unwrap(), expected, "d={d}, {state:?}");
+                assert_eq!(
+                    circuit.apply_to_basis(&state).unwrap(),
+                    expected,
+                    "d={d}, {state:?}"
+                );
             }
         }
     }
@@ -311,7 +331,10 @@ mod tests {
         m[(1, 0)] = Complex::from_real(s);
         m[(1, 1)] = Complex::from_real(-s);
         let op = SingleQuditOp::unitary(dimension, m).unwrap();
-        let synthesis = ControlledUnitary::new(dimension, 2, op).unwrap().synthesize().unwrap();
+        let synthesis = ControlledUnitary::new(dimension, 2, op)
+            .unwrap()
+            .synthesize()
+            .unwrap();
         assert_eq!(synthesis.layout().width, 4);
         assert!(!synthesis.circuit().is_classical());
         assert_eq!(synthesis.resources().clean_ancillas(), 1);

@@ -48,7 +48,10 @@ impl fmt::Display for SynthesisError {
                 )
             }
             SynthesisError::NotClassicalTarget => {
-                write!(f, "target operation must be a classical level permutation for this construction")
+                write!(
+                    f,
+                    "target operation must be a classical level permutation for this construction"
+                )
             }
             SynthesisError::Lowering { reason } => write!(f, "cannot lower gate: {reason}"),
         }
@@ -81,10 +84,15 @@ mod tests {
     fn displays_are_informative() {
         let errors: Vec<SynthesisError> = vec![
             QuditError::NotAPermutation.into(),
-            SynthesisError::DimensionTooSmall { dimension: 2, minimum: 3 },
+            SynthesisError::DimensionTooSmall {
+                dimension: 2,
+                minimum: 3,
+            },
             SynthesisError::BorrowedAncillaRequired { dimension: 4 },
             SynthesisError::NotClassicalTarget,
-            SynthesisError::Lowering { reason: "three controls".into() },
+            SynthesisError::Lowering {
+                reason: "three controls".into(),
+            },
         ];
         for error in errors {
             assert!(!error.to_string().is_empty());

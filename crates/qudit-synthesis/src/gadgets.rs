@@ -32,11 +32,17 @@ pub fn two_controlled_swap_odd(
     j: u32,
 ) -> Result<Vec<Gate>> {
     if dimension.get() < 3 {
-        return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+        return Err(SynthesisError::DimensionTooSmall {
+            dimension: dimension.get(),
+            minimum: 3,
+        });
     }
     if dimension.is_even() {
         return Err(SynthesisError::Lowering {
-            reason: format!("Fig. 5 gadget requires odd dimension, got d = {}", dimension),
+            reason: format!(
+                "Fig. 5 gadget requires odd dimension, got d = {}",
+                dimension
+            ),
         });
     }
     let d = dimension.get();
@@ -72,35 +78,82 @@ pub fn two_controlled_swap_even(
 ) -> Result<Vec<Gate>> {
     if dimension.is_odd() {
         return Err(SynthesisError::Lowering {
-            reason: format!("Fig. 2 gadget requires even dimension, got d = {}", dimension),
+            reason: format!(
+                "Fig. 2 gadget requires even dimension, got d = {}",
+                dimension
+            ),
         });
     }
     if dimension.get() < 4 {
-        return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 4 });
+        return Err(SynthesisError::DimensionTooSmall {
+            dimension: dimension.get(),
+            minimum: 4,
+        });
     }
     if borrowed == c1 || borrowed == c2 || borrowed == target {
         return Err(SynthesisError::Lowering {
-            reason: "borrowed ancilla must be distinct from the gadget's controls and target".to_string(),
+            reason: "borrowed ancilla must be distinct from the gadget's controls and target"
+                .to_string(),
         });
     }
     let swap = SingleQuditOp::swap(dimension, i, j)?;
     let block = |gates: &mut Vec<Gate>| {
         // 1–3: conditionally move |0⟩ of c1 out of the way based on c2 and the
         // parity of the borrowed ancilla.
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 1), c1, vec![Control::level(c2, 1)]));
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 1), c2, vec![Control::odd(borrowed)]));
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 1), c1, vec![Control::level(c2, 1)]));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            c1,
+            vec![Control::level(c2, 1)],
+        ));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            c2,
+            vec![Control::odd(borrowed)],
+        ));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            c1,
+            vec![Control::level(c2, 1)],
+        ));
         // 4: the conditional application to the target.
-        gates.push(Gate::controlled(swap.clone(), target, vec![Control::zero(c1)]));
+        gates.push(Gate::controlled(
+            swap.clone(),
+            target,
+            vec![Control::zero(c1)],
+        ));
         // 5–7: undo steps 1–3.
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 1), c1, vec![Control::level(c2, 1)]));
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 1), c2, vec![Control::odd(borrowed)]));
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 1), c1, vec![Control::level(c2, 1)]));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            c1,
+            vec![Control::level(c2, 1)],
+        ));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            c2,
+            vec![Control::odd(borrowed)],
+        ));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            c1,
+            vec![Control::level(c2, 1)],
+        ));
         // 8–10: flip the parity of the borrowed ancilla exactly when
         // (c2 = 0 ∧ c1 = 0) or (c2 ≠ 0 ∧ c1 = 2).
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 2), c1, vec![Control::zero(c2)]));
-        gates.push(Gate::controlled(SingleQuditOp::ParityFlipEven, borrowed, vec![Control::level(c1, 2)]));
-        gates.push(Gate::controlled(SingleQuditOp::Swap(0, 2), c1, vec![Control::zero(c2)]));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 2),
+            c1,
+            vec![Control::zero(c2)],
+        ));
+        gates.push(Gate::controlled(
+            SingleQuditOp::ParityFlipEven,
+            borrowed,
+            vec![Control::level(c1, 2)],
+        ));
+        gates.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 2),
+            c1,
+            vec![Control::zero(c2)],
+        ));
     };
     let mut gates = Vec::with_capacity(20);
     block(&mut gates);
@@ -163,7 +216,13 @@ mod tests {
             let mut expected = digits.clone();
             if digits[0] == 0 && digits[1] == 0 {
                 let t = expected[2];
-                expected[2] = if t == i { j } else if t == j { i } else { t };
+                expected[2] = if t == i {
+                    j
+                } else if t == j {
+                    i
+                } else {
+                    t
+                };
             }
             let actual = circuit.apply_to_basis(&digits).unwrap();
             assert_eq!(actual, expected, "input {digits:?}");
@@ -272,7 +331,15 @@ mod tests {
 
     #[test]
     fn parity_mismatches_are_rejected() {
-        assert!(two_controlled_swap_odd(dim(4), QuditId::new(0), QuditId::new(1), QuditId::new(2), 0, 1).is_err());
+        assert!(two_controlled_swap_odd(
+            dim(4),
+            QuditId::new(0),
+            QuditId::new(1),
+            QuditId::new(2),
+            0,
+            1
+        )
+        .is_err());
         assert!(two_controlled_swap_even(
             dim(5),
             QuditId::new(0),
@@ -293,7 +360,25 @@ mod tests {
             QuditId::new(2)
         )
         .is_err());
-        assert!(two_controlled_swap(dim(4), QuditId::new(0), QuditId::new(1), QuditId::new(2), 0, 1, None).is_err());
-        assert!(two_controlled_swap(dim(3), QuditId::new(0), QuditId::new(1), QuditId::new(2), 0, 1, None).is_ok());
+        assert!(two_controlled_swap(
+            dim(4),
+            QuditId::new(0),
+            QuditId::new(1),
+            QuditId::new(2),
+            0,
+            1,
+            None
+        )
+        .is_err());
+        assert!(two_controlled_swap(
+            dim(3),
+            QuditId::new(0),
+            QuditId::new(1),
+            QuditId::new(2),
+            0,
+            1,
+            None
+        )
+        .is_ok());
     }
 }

@@ -18,21 +18,19 @@ use crate::error::{Result, SynthesisError};
 
 /// Checks that a borrowed-ancilla pool provides `needed` qudits, none of
 /// which collide with the `busy` qudits, and returns the chosen ancillas.
-fn take_ancillas(
-    borrowed: &[QuditId],
-    needed: usize,
-    busy: &[QuditId],
-) -> Result<Vec<QuditId>> {
+fn take_ancillas(borrowed: &[QuditId], needed: usize, busy: &[QuditId]) -> Result<Vec<QuditId>> {
     let available: Vec<QuditId> = borrowed
         .iter()
         .copied()
         .filter(|q| !busy.contains(q))
         .collect();
     if available.len() < needed {
-        return Err(SynthesisError::Core(qudit_core::QuditError::InsufficientAncillas {
-            required: needed,
-            available: available.len(),
-        }));
+        return Err(SynthesisError::Core(
+            qudit_core::QuditError::InsufficientAncillas {
+                required: needed,
+                available: available.len(),
+            },
+        ));
     }
     Ok(available[..needed].to_vec())
 }
@@ -73,8 +71,20 @@ pub fn parity_ladder_even(
     let m = controls.len();
     match m {
         0 => return Ok(vec![Gate::single(bottom_op.clone(), target)]),
-        1 => return Ok(vec![Gate::controlled(bottom_op.clone(), target, vec![controls[0]])]),
-        2 => return Ok(vec![Gate::controlled(bottom_op.clone(), target, controls.to_vec())]),
+        1 => {
+            return Ok(vec![Gate::controlled(
+                bottom_op.clone(),
+                target,
+                vec![controls[0]],
+            )])
+        }
+        2 => {
+            return Ok(vec![Gate::controlled(
+                bottom_op.clone(),
+                target,
+                controls.to_vec(),
+            )])
+        }
         _ => {}
     }
     let mut busy: Vec<QuditId> = controls.iter().map(|c| c.qudit).collect();
@@ -130,12 +140,10 @@ fn increment_ladder(
     let r = rung_controls.len();
     debug_assert_eq!(ancillas.len(), r);
     let rung_target = |j: usize| if j + 1 < r { ancillas[j + 1] } else { target };
-    let minus = |j: usize| {
-        Gate::add_from(ancillas[j], true, rung_target(j), vec![rung_controls[j]])
-    };
-    let plus = |j: usize| {
-        Gate::add_from(ancillas[j], false, rung_target(j), vec![rung_controls[j]])
-    };
+    let minus =
+        |j: usize| Gate::add_from(ancillas[j], true, rung_target(j), vec![rung_controls[j]]);
+    let plus =
+        |j: usize| Gate::add_from(ancillas[j], false, rung_target(j), vec![rung_controls[j]]);
 
     // Inner Λ: all rungs except the outermost pair, with the top gate in the
     // middle.
@@ -170,15 +178,37 @@ pub fn add_one_ladder_odd(
     let m = controls.len();
     match m {
         0 => return Ok(vec![Gate::single(SingleQuditOp::Add(1), target)]),
-        1 => return Ok(vec![Gate::controlled(SingleQuditOp::Add(1), target, vec![controls[0]])]),
-        2 => return Ok(vec![Gate::controlled(SingleQuditOp::Add(1), target, controls.to_vec())]),
+        1 => {
+            return Ok(vec![Gate::controlled(
+                SingleQuditOp::Add(1),
+                target,
+                vec![controls[0]],
+            )])
+        }
+        2 => {
+            return Ok(vec![Gate::controlled(
+                SingleQuditOp::Add(1),
+                target,
+                controls.to_vec(),
+            )])
+        }
         _ => {}
     }
     let mut busy: Vec<QuditId> = controls.iter().map(|c| c.qudit).collect();
     busy.push(target);
     let ancillas = take_ancillas(borrowed, m - 2, &busy)?;
-    let top = Gate::controlled(SingleQuditOp::Add(1), ancillas[0], vec![controls[0], controls[1]]);
-    Ok(increment_ladder(dimension, top, &controls[2..], &ancillas, target))
+    let top = Gate::controlled(
+        SingleQuditOp::Add(1),
+        ancillas[0],
+        vec![controls[0], controls[1]],
+    );
+    Ok(increment_ladder(
+        dimension,
+        top,
+        &controls[2..],
+        &ancillas,
+        target,
+    ))
 }
 
 /// The Fig. 7 ladder with its top gate replaced by `|⋆⟩|0⟩-X±⋆`: implements
@@ -206,7 +236,14 @@ pub fn star_add_ladder_odd(
     let m = controls.len();
     match m {
         0 => return Ok(vec![Gate::add_from(star, negate, target, vec![])]),
-        1 => return Ok(vec![Gate::add_from(star, negate, target, vec![controls[0]])]),
+        1 => {
+            return Ok(vec![Gate::add_from(
+                star,
+                negate,
+                target,
+                vec![controls[0]],
+            )])
+        }
         _ => {}
     }
     let mut busy: Vec<QuditId> = controls.iter().map(|c| c.qudit).collect();
@@ -214,7 +251,13 @@ pub fn star_add_ladder_odd(
     busy.push(star);
     let ancillas = take_ancillas(borrowed, m - 1, &busy)?;
     let top = Gate::add_from(star, negate, ancillas[0], vec![controls[0]]);
-    Ok(increment_ladder(dimension, top, &controls[1..], &ancillas, target))
+    Ok(increment_ladder(
+        dimension,
+        top,
+        &controls[1..],
+        &ancillas,
+        target,
+    ))
 }
 
 #[cfg(test)]
@@ -272,7 +315,11 @@ mod tests {
                     other => other,
                 };
             }
-            assert_eq!(circuit.apply_to_basis(&input).unwrap(), expected, "input {input:?}");
+            assert_eq!(
+                circuit.apply_to_basis(&input).unwrap(),
+                expected,
+                "input {input:?}"
+            );
         }
     }
 
@@ -301,7 +348,11 @@ mod tests {
                 let v = expected[3];
                 expected[3] = if v % 2 == 0 { v + 1 } else { v - 1 };
             }
-            assert_eq!(circuit.apply_to_basis(&input).unwrap(), expected, "input {input:?}");
+            assert_eq!(
+                circuit.apply_to_basis(&input).unwrap(),
+                expected,
+                "input {input:?}"
+            );
         }
     }
 
@@ -312,15 +363,18 @@ mod tests {
         let width = 7;
         let controls: Vec<Control> = (0..4).map(|i| Control::zero(QuditId::new(i))).collect();
         let borrowed: Vec<QuditId> = (5..7).map(QuditId::new).collect();
-        let gates =
-            add_one_ladder_odd(dimension, &controls, QuditId::new(4), &borrowed).unwrap();
+        let gates = add_one_ladder_odd(dimension, &controls, QuditId::new(4), &borrowed).unwrap();
         let circuit = circuit_from(dimension, width, gates);
         for input in all_states(dimension, width) {
             let mut expected = input.clone();
             if input[..4].iter().all(|&x| x == 0) {
                 expected[4] = (expected[4] + 1) % 3;
             }
-            assert_eq!(circuit.apply_to_basis(&input).unwrap(), expected, "input {input:?}");
+            assert_eq!(
+                circuit.apply_to_basis(&input).unwrap(),
+                expected,
+                "input {input:?}"
+            );
         }
     }
 
@@ -329,7 +383,10 @@ mod tests {
         // |⋆⟩(q0)|0⟩(q1)|0⟩(q2)-X±⋆ on q3, ancilla pool {q4}.
         let dimension = dim(5);
         let width = 5;
-        let controls = vec![Control::zero(QuditId::new(1)), Control::zero(QuditId::new(2))];
+        let controls = vec![
+            Control::zero(QuditId::new(1)),
+            Control::zero(QuditId::new(2)),
+        ];
         for negate in [false, true] {
             let gates = star_add_ladder_odd(
                 dimension,
@@ -347,7 +404,11 @@ mod tests {
                     let shift = if negate { (5 - input[0]) % 5 } else { input[0] };
                     expected[3] = (expected[3] + shift) % 5;
                 }
-                assert_eq!(circuit.apply_to_basis(&input).unwrap(), expected, "input {input:?}");
+                assert_eq!(
+                    circuit.apply_to_basis(&input).unwrap(),
+                    expected,
+                    "input {input:?}"
+                );
             }
         }
     }
@@ -371,7 +432,10 @@ mod tests {
 
     #[test]
     fn parity_checks_on_dimension() {
-        let controls = vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))];
+        let controls = vec![
+            Control::zero(QuditId::new(0)),
+            Control::zero(QuditId::new(1)),
+        ];
         assert!(parity_ladder_even(
             dim(5),
             &controls,
@@ -381,7 +445,15 @@ mod tests {
         )
         .is_err());
         assert!(add_one_ladder_odd(dim(4), &controls, QuditId::new(2), &[]).is_err());
-        assert!(star_add_ladder_odd(dim(4), QuditId::new(3), &controls, QuditId::new(2), false, &[]).is_err());
+        assert!(star_add_ladder_odd(
+            dim(4),
+            QuditId::new(3),
+            &controls,
+            QuditId::new(2),
+            false,
+            &[]
+        )
+        .is_err());
     }
 
     #[test]
@@ -398,7 +470,10 @@ mod tests {
         let dimension = dim(4);
         let gates = parity_ladder_even(
             dimension,
-            &[Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+            &[
+                Control::zero(QuditId::new(0)),
+                Control::zero(QuditId::new(1)),
+            ],
             QuditId::new(2),
             &SingleQuditOp::Swap(0, 1),
             &[],

@@ -49,6 +49,7 @@ pub mod lower;
 mod mct;
 pub mod mct_even;
 pub mod mct_odd;
+pub mod pipeline;
 pub mod pk;
 mod resources;
 
@@ -57,4 +58,5 @@ pub use controlled_unitary::{
 };
 pub use error::{Result, SynthesisError};
 pub use mct::{emit_multi_controlled, KToffoli, MctLayout, MctSynthesis, MultiControlledGate};
+pub use pipeline::{LowerToElementary, Pipeline};
 pub use resources::Resources;

@@ -124,8 +124,9 @@ fn lower_two_controlled(
 
     if !op.is_classical() {
         return Err(SynthesisError::Lowering {
-            reason: "two-controlled general unitaries require the clean-ancilla construction (Fig. 1b)"
-                .to_string(),
+            reason:
+                "two-controlled general unitaries require the clean-ancilla construction (Fig. 1b)"
+                    .to_string(),
         });
     }
 
@@ -150,10 +151,14 @@ fn lower_two_controlled(
     let transpositions = op.transpositions(dimension).map_err(SynthesisError::from)?;
     for (i, j) in transpositions {
         if dimension.is_odd() {
-            gates.extend(two_controlled_swap_odd(dimension, c1.qudit, c2.qudit, target, i, j)?);
+            gates.extend(two_controlled_swap_odd(
+                dimension, c1.qudit, c2.qudit, target, i, j,
+            )?);
         } else {
             let borrowed = pick_borrowed(width, &[c1.qudit, c2.qudit, target]).ok_or(
-                SynthesisError::BorrowedAncillaRequired { dimension: dimension.get() },
+                SynthesisError::BorrowedAncillaRequired {
+                    dimension: dimension.get(),
+                },
             )?;
             gates.extend(two_controlled_swap_even(
                 dimension, c1.qudit, c2.qudit, target, i, j, borrowed,
@@ -173,9 +178,7 @@ fn lower_two_controlled(
 /// Picks the lowest-index qudit of the register that is not in `exclude`,
 /// for use as a borrowed ancilla.
 fn pick_borrowed(width: usize, exclude: &[QuditId]) -> Option<QuditId> {
-    (0..width)
-        .map(QuditId::new)
-        .find(|q| !exclude.contains(q))
+    (0..width).map(QuditId::new).find(|q| !exclude.contains(q))
 }
 
 #[cfg(test)]
@@ -224,7 +227,10 @@ mod tests {
             let gate = Gate::controlled(
                 SingleQuditOp::Swap(0, 1),
                 QuditId::new(2),
-                vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+                vec![
+                    Control::zero(QuditId::new(0)),
+                    Control::zero(QuditId::new(1)),
+                ],
             );
             let circuit = macro_circuit(dimension, width, gate);
             let elementary = lower_to_elementary(&circuit).unwrap();
@@ -245,17 +251,30 @@ mod tests {
                 Gate::controlled(
                     SingleQuditOp::Add(1),
                     QuditId::new(2),
-                    vec![Control::level(QuditId::new(0), 1), Control::zero(QuditId::new(1))],
+                    vec![
+                        Control::level(QuditId::new(0), 1),
+                        Control::zero(QuditId::new(1)),
+                    ],
                 ),
                 Gate::controlled(
                     SingleQuditOp::Swap(0, d - 1),
                     QuditId::new(2),
-                    vec![Control::odd(QuditId::new(0)), Control::zero(QuditId::new(1))],
+                    vec![
+                        Control::odd(QuditId::new(0)),
+                        Control::zero(QuditId::new(1)),
+                    ],
                 ),
                 Gate::controlled(
-                    if d % 2 == 0 { SingleQuditOp::ParityFlipEven } else { SingleQuditOp::ParityFlipOdd },
+                    if d % 2 == 0 {
+                        SingleQuditOp::ParityFlipEven
+                    } else {
+                        SingleQuditOp::ParityFlipOdd
+                    },
                     QuditId::new(2),
-                    vec![Control::odd(QuditId::new(0)), Control::level(QuditId::new(1), 2)],
+                    vec![
+                        Control::odd(QuditId::new(0)),
+                        Control::level(QuditId::new(1), 2),
+                    ],
                 ),
             ];
             for gate in gates {
@@ -293,7 +312,10 @@ mod tests {
         let gate = Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(2),
-            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+            vec![
+                Control::zero(QuditId::new(0)),
+                Control::zero(QuditId::new(1)),
+            ],
         );
         // Width 3: no spare qudit for the Fig. 2 gadget.
         let circuit = macro_circuit(dimension, 3, gate);
@@ -316,7 +338,10 @@ mod tests {
             ],
         );
         let circuit = macro_circuit(dimension, 4, gate);
-        assert!(matches!(lower_to_elementary(&circuit), Err(SynthesisError::Lowering { .. })));
+        assert!(matches!(
+            lower_to_elementary(&circuit),
+            Err(SynthesisError::Lowering { .. })
+        ));
     }
 
     #[test]
@@ -325,7 +350,10 @@ mod tests {
         let gate = Gate::controlled(
             SingleQuditOp::Swap(0, 1),
             QuditId::new(2),
-            vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+            vec![
+                Control::zero(QuditId::new(0)),
+                Control::zero(QuditId::new(1)),
+            ],
         );
         let circuit = macro_circuit(dimension, 3, gate);
         let count = g_gate_count(&circuit).unwrap();

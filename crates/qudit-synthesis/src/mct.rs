@@ -8,12 +8,13 @@
 //!   with arbitrary control levels; used by the unitary-synthesis and
 //!   reversible-function crates.
 
+use qudit_core::pipeline::{PassManager, PipelineReport};
 use qudit_core::{AncillaKind, AncillaUsage, Circuit, Dimension, Gate, QuditId, SingleQuditOp};
 
 use crate::error::{Result, SynthesisError};
-use crate::lower::{lower_to_elementary, lower_to_g_gates};
 use crate::mct_even::mct_even_gates;
 use crate::mct_odd::mct_odd_gates;
+use crate::pipeline::{LowerToElementary, Pipeline};
 use crate::resources::Resources;
 
 /// Where each logical role of a multi-controlled gate lives in the
@@ -63,17 +64,38 @@ impl MctSynthesis {
     /// Propagates lowering errors (they cannot occur for circuits produced by
     /// this crate's constructions).
     pub fn elementary_circuit(&self) -> Result<Circuit> {
-        lower_to_elementary(&self.circuit)
+        PassManager::new()
+            .with_pass(LowerToElementary)
+            .run_circuit(self.circuit.clone())
+            .map_err(SynthesisError::from)
     }
 
-    /// The circuit lowered to the G-gate set `{Xij} ∪ {|0⟩-X01}`.
+    /// The circuit lowered to the G-gate set `{Xij} ∪ {|0⟩-X01}` (the
+    /// [`Pipeline::lowering`] stages, without cancellation — the level the
+    /// paper's gate counts are reported at).
     ///
     /// # Errors
     ///
     /// Propagates lowering errors (they cannot occur for circuits produced by
     /// this crate's constructions).
     pub fn g_gate_circuit(&self) -> Result<Circuit> {
-        lower_to_g_gates(&self.circuit)
+        Pipeline::lowering(self.circuit.dimension(), self.circuit.width())
+            .run_circuit(self.circuit.clone())
+            .map_err(SynthesisError::from)
+    }
+
+    /// Runs the full [`Pipeline::standard`] flow (lowering plus inverse-pair
+    /// cancellation) on the synthesised circuit, returning the optimised
+    /// G-gate circuit together with per-pass statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors (they cannot occur for circuits produced
+    /// by this crate's constructions).
+    pub fn compile(&self) -> Result<PipelineReport> {
+        Pipeline::standard(self.circuit.dimension(), self.circuit.width())
+            .run(self.circuit.clone())
+            .map_err(SynthesisError::from)
     }
 }
 
@@ -109,9 +131,15 @@ impl KToffoli {
     /// Returns an error when `d < 3`.
     pub fn new(dimension: Dimension, controls: usize) -> Result<Self> {
         if dimension.get() < 3 {
-            return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+            return Err(SynthesisError::DimensionTooSmall {
+                dimension: dimension.get(),
+                minimum: 3,
+            });
         }
-        Ok(KToffoli { dimension, controls })
+        Ok(KToffoli {
+            dimension,
+            controls,
+        })
     }
 
     /// The qudit dimension.
@@ -131,7 +159,8 @@ impl KToffoli {
     /// Returns an error when the construction fails (which indicates a bug;
     /// all valid parameters succeed).
     pub fn synthesize(&self) -> Result<MctSynthesis> {
-        MultiControlledGate::new(self.dimension, self.controls, SingleQuditOp::Swap(0, 1))?.synthesize()
+        MultiControlledGate::new(self.dimension, self.controls, SingleQuditOp::Swap(0, 1))?
+            .synthesize()
     }
 }
 
@@ -158,13 +187,20 @@ impl MultiControlledGate {
     /// [`crate::ControlledUnitary`] for general unitaries).
     pub fn new(dimension: Dimension, controls: usize, op: SingleQuditOp) -> Result<Self> {
         if dimension.get() < 3 {
-            return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+            return Err(SynthesisError::DimensionTooSmall {
+                dimension: dimension.get(),
+                minimum: 3,
+            });
         }
         op.validate(dimension)?;
         if !op.is_classical() {
             return Err(SynthesisError::NotClassicalTarget);
         }
-        Ok(MultiControlledGate { dimension, controls, op })
+        Ok(MultiControlledGate {
+            dimension,
+            controls,
+            op,
+        })
     }
 
     /// The qudit dimension.
@@ -200,7 +236,11 @@ impl MultiControlledGate {
         // Even dimensions need one borrowed ancilla as soon as the gate has
         // two or more controls (the parity argument after Theorem III.2).
         let needs_borrowed = dimension.is_even() && k >= 2;
-        let borrowed = if needs_borrowed { Some(QuditId::new(k + 1)) } else { None };
+        let borrowed = if needs_borrowed {
+            Some(QuditId::new(k + 1))
+        } else {
+            None
+        };
         let width = k + 1 + usize::from(needs_borrowed);
 
         let mut circuit = Circuit::new(dimension, width);
@@ -216,7 +256,12 @@ impl MultiControlledGate {
         let resources = Resources::for_circuit(&circuit, ancillas)?;
         Ok(MctSynthesis {
             circuit,
-            layout: MctLayout { controls, target, borrowed_ancilla: borrowed, width },
+            layout: MctLayout {
+                controls,
+                target,
+                borrowed_ancilla: borrowed,
+                width,
+            },
             resources,
         })
     }
@@ -247,7 +292,10 @@ pub fn emit_multi_controlled(
 ) -> Result<()> {
     let dimension = circuit.dimension();
     if dimension.get() < 3 {
-        return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+        return Err(SynthesisError::DimensionTooSmall {
+            dimension: dimension.get(),
+            minimum: 3,
+        });
     }
     if !op.is_classical() {
         return Err(SynthesisError::NotClassicalTarget);
@@ -269,8 +317,10 @@ pub fn emit_multi_controlled(
     // With zero or one control no ancilla is ever needed: emit the
     // (controlled) operation directly regardless of the dimension's parity.
     if control_qudits.len() < 2 {
-        let zero_controls: Vec<qudit_core::Control> =
-            control_qudits.iter().map(|&q| qudit_core::Control::zero(q)).collect();
+        let zero_controls: Vec<qudit_core::Control> = control_qudits
+            .iter()
+            .map(|&q| qudit_core::Control::zero(q))
+            .collect();
         circuit.push(Gate::new(
             qudit_core::GateOp::Single(op.clone()),
             target,
@@ -288,7 +338,9 @@ pub fn emit_multi_controlled(
                     .iter()
                     .copied()
                     .find(|q| !control_qudits.contains(q) && *q != target)
-                    .ok_or(SynthesisError::BorrowedAncillaRequired { dimension: dimension.get() })?;
+                    .ok_or(SynthesisError::BorrowedAncillaRequired {
+                        dimension: dimension.get(),
+                    })?;
                 mct_even_gates(dimension, &control_qudits, target, i, j, borrowed)?
             };
             for gate in gates {
@@ -356,7 +408,11 @@ mod tests {
                         other => other,
                     };
                 }
-                assert_eq!(circuit.apply_to_basis(&state).unwrap(), expected, "d={d}, {state:?}");
+                assert_eq!(
+                    circuit.apply_to_basis(&state).unwrap(),
+                    expected,
+                    "d={d}, {state:?}"
+                );
             }
         }
     }
@@ -414,7 +470,10 @@ mod tests {
             &SingleQuditOp::Swap(0, 1),
             &[],
         );
-        assert!(matches!(result, Err(SynthesisError::BorrowedAncillaRequired { .. })));
+        assert!(matches!(
+            result,
+            Err(SynthesisError::BorrowedAncillaRequired { .. })
+        ));
     }
 
     #[test]

@@ -29,22 +29,33 @@ pub fn mct_even_gates(
 ) -> Result<Vec<Gate>> {
     if dimension.is_odd() {
         return Err(SynthesisError::Lowering {
-            reason: "Fig. 4 requires an even dimension; use the odd-dimension construction".to_string(),
+            reason: "Fig. 4 requires an even dimension; use the odd-dimension construction"
+                .to_string(),
         });
     }
     if dimension.get() < 4 {
-        return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 4 });
+        return Err(SynthesisError::DimensionTooSmall {
+            dimension: dimension.get(),
+            minimum: 4,
+        });
     }
     if controls.contains(&borrowed) || borrowed == target {
         return Err(SynthesisError::Lowering {
-            reason: "the borrowed ancilla must be distinct from the controls and target".to_string(),
+            reason: "the borrowed ancilla must be distinct from the controls and target"
+                .to_string(),
         });
     }
     let swap = SingleQuditOp::swap(dimension, i, j)?;
     let k = controls.len();
     match k {
         0 => return Ok(vec![Gate::single(swap, target)]),
-        1 => return Ok(vec![Gate::controlled(swap, target, vec![Control::zero(controls[0])])]),
+        1 => {
+            return Ok(vec![Gate::controlled(
+                swap,
+                target,
+                vec![Control::zero(controls[0])],
+            )])
+        }
         2 => {
             // The two-controlled macro gate; the lowering pass expands it with
             // the Fig. 2 gadget, borrowing any idle qudit (at least `borrowed`
@@ -58,7 +69,7 @@ pub fn mct_even_gates(
         _ => {}
     }
 
-    let first_half = (k + 1) / 2; // ⌈k/2⌉
+    let first_half = k.div_ceil(2); // ⌈k/2⌉
     let prefix = &controls[..first_half];
     let suffix = &controls[first_half..];
 
@@ -194,7 +205,11 @@ mod tests {
                 QuditId::new(k + 1),
             )
             .unwrap();
-            assert!(gates.len() <= 20 * k, "k = {k} used {} macro gates", gates.len());
+            assert!(
+                gates.len() <= 20 * k,
+                "k = {k} used {} macro gates",
+                gates.len()
+            );
         }
     }
 }

@@ -26,18 +26,28 @@ pub fn mct_odd_gates(
     j: u32,
 ) -> Result<Vec<Gate>> {
     if dimension.get() < 3 {
-        return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+        return Err(SynthesisError::DimensionTooSmall {
+            dimension: dimension.get(),
+            minimum: 3,
+        });
     }
     if dimension.is_even() {
         return Err(SynthesisError::Lowering {
-            reason: "Fig. 10 requires an odd dimension; use the even-dimension construction".to_string(),
+            reason: "Fig. 10 requires an odd dimension; use the even-dimension construction"
+                .to_string(),
         });
     }
     let swap = SingleQuditOp::swap(dimension, i, j)?;
     let k = controls.len();
     match k {
         0 => return Ok(vec![Gate::single(swap, target)]),
-        1 => return Ok(vec![Gate::controlled(swap, target, vec![Control::zero(controls[0])])]),
+        1 => {
+            return Ok(vec![Gate::controlled(
+                swap,
+                target,
+                vec![Control::zero(controls[0])],
+            )])
+        }
         2 => {
             return Ok(vec![Gate::controlled(
                 swap,
@@ -175,7 +185,11 @@ mod tests {
             let controls: Vec<QuditId> = (0..k).map(QuditId::new).collect();
             let gates = mct_odd_gates(dimension, &controls, QuditId::new(k), 0, 1).unwrap();
             counts.push(gates.len());
-            assert!(gates.len() <= 160 * k, "k = {k} used {} macro gates", gates.len());
+            assert!(
+                gates.len() <= 160 * k,
+                "k = {k} used {} macro gates",
+                gates.len()
+            );
         }
         // Growth between consecutive k stays bounded (linear, not quadratic).
         for w in counts.windows(2) {

@@ -1,0 +1,187 @@
+//! Pipeline presets reproducing the paper's compilation flow.
+//!
+//! The paper compiles a multi-controlled gate in stages: synthesis emits a
+//! *macro circuit* (gates with at most two controls), which is lowered to
+//! *elementary gates* (at most one control) with the Fig. 2 / Fig. 5
+//! gadgets, then to the *G-gate set* `{Xij} ∪ {|0⟩-X01}`, and finally
+//! cleaned up by inverse-pair cancellation.  This module packages those
+//! stages as [`qudit_core::pipeline::Pass`]es:
+//!
+//! ```text
+//!   macro circuit ──lower-to-elementary──▶ elementary ──lower-to-g-gates──▶
+//!   G-gates ──cancel-inverse-pairs──▶ optimised G-gates
+//! ```
+//!
+//! * [`LowerToElementary`] — wraps [`crate::lower::lower_to_elementary`];
+//! * [`Pipeline::standard`] — the full flow above;
+//! * [`Pipeline::lowering`] — the flow without the final cancellation (the
+//!   configuration the paper's gate counts are reported in);
+//! * [`Pipeline::standard_verified`] / [`Pipeline::lowering_verified`] —
+//!   the same pipelines with every stage wrapped in
+//!   [`qudit_sim::pipeline::VerifyEquivalence`], so each stage self-checks
+//!   semantics preservation.
+
+use qudit_core::pipeline::{CancelInversePairs, LowerToGGates, Pass, PassManager};
+use qudit_core::{Circuit, Dimension, QuditError};
+use qudit_sim::pipeline::VerifyEquivalence;
+
+use crate::error::SynthesisError;
+use crate::lower;
+
+/// Converts a synthesis error into the core error type used by passes.
+fn pass_error(pass: &str, error: SynthesisError) -> QuditError {
+    match error {
+        SynthesisError::Core(e) => e,
+        other => QuditError::PassFailed {
+            pass: pass.to_string(),
+            reason: other.to_string(),
+        },
+    }
+}
+
+/// Pass lowering macro gates (two controls, value-controlled shifts) to
+/// elementary gates with at most one control
+/// (wraps [`crate::lower::lower_to_elementary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerToElementary;
+
+impl Pass for LowerToElementary {
+    fn name(&self) -> &str {
+        "lower-to-elementary"
+    }
+
+    fn run(&self, circuit: Circuit) -> qudit_core::Result<Circuit> {
+        lower::lower_to_elementary(&circuit).map_err(|e| pass_error(self.name(), e))
+    }
+}
+
+/// Factory for the standard compilation pipelines of the paper's flow.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline;
+
+impl Pipeline {
+    /// The paper's full compilation flow for a macro circuit over `width`
+    /// qudits of the given dimension: macro-gate lowering → G-gate lowering
+    /// → inverse-pair cancellation.
+    ///
+    /// The returned manager is pinned to the given register shape and
+    /// rejects mismatched circuits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::Dimension;
+    /// use qudit_synthesis::{KToffoli, Pipeline};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dimension = Dimension::new(3)?;
+    /// let synthesis = KToffoli::new(dimension, 4)?.synthesize()?;
+    /// let pipeline = Pipeline::standard(dimension, synthesis.layout().width);
+    /// let report = pipeline.run(synthesis.circuit().clone())?;
+    /// assert!(report.circuit.gates().iter().all(|g| g.is_g_gate()));
+    /// // One statistics entry per stage.
+    /// assert_eq!(report.stats.len(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn standard(dimension: Dimension, width: usize) -> PassManager {
+        Self::lowering(dimension, width).with_pass(CancelInversePairs)
+    }
+
+    /// The lowering stages only (macro → elementary → G-gates), without the
+    /// final cancellation — the configuration the paper's G-gate counts are
+    /// reported in.
+    pub fn lowering(dimension: Dimension, width: usize) -> PassManager {
+        PassManager::new()
+            .with_pass(LowerToElementary)
+            .with_pass(LowerToGGates)
+            .with_shape(dimension, width)
+    }
+
+    /// [`Pipeline::standard`] with every stage wrapped in
+    /// [`VerifyEquivalence`]: each stage re-simulates its input and output
+    /// and fails the pipeline on any semantics change.
+    pub fn standard_verified(dimension: Dimension, width: usize) -> PassManager {
+        VerifyEquivalence::wrap_manager(Self::standard(dimension, width))
+    }
+
+    /// [`Pipeline::lowering`] with every stage wrapped in
+    /// [`VerifyEquivalence`].
+    pub fn lowering_verified(dimension: Dimension, width: usize) -> PassManager {
+        VerifyEquivalence::wrap_manager(Self::lowering(dimension, width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KToffoli;
+    use qudit_core::{Control, Gate, QuditId, SingleQuditOp};
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn standard_pipeline_reproduces_the_manual_chain() {
+        for d in [3u32, 4] {
+            let synthesis = KToffoli::new(dim(d), 3).unwrap().synthesize().unwrap();
+            let width = synthesis.layout().width;
+            let macro_circuit = synthesis.circuit().clone();
+
+            let manual = qudit_core::optimize::cancel_inverse_pairs(
+                &lower::lower_to_g_gates(&macro_circuit).unwrap(),
+            );
+            let report = Pipeline::standard(dim(d), width)
+                .run(macro_circuit)
+                .unwrap();
+            assert_eq!(report.circuit, manual, "d={d}");
+            assert_eq!(report.stats.len(), 3);
+        }
+    }
+
+    #[test]
+    fn lowering_pipeline_matches_reported_g_gate_counts() {
+        let synthesis = KToffoli::new(dim(3), 4).unwrap().synthesize().unwrap();
+        let report = Pipeline::lowering(dim(3), synthesis.layout().width)
+            .run(synthesis.circuit().clone())
+            .unwrap();
+        assert_eq!(report.circuit.len(), synthesis.resources().g_gates);
+        assert!(report.circuit.gates().iter().all(Gate::is_g_gate));
+    }
+
+    #[test]
+    fn verified_pipeline_accepts_the_constructions() {
+        let synthesis = KToffoli::new(dim(3), 2).unwrap().synthesize().unwrap();
+        let manager = Pipeline::standard_verified(dim(3), synthesis.layout().width);
+        let report = manager.run(synthesis.circuit().clone()).unwrap();
+        assert!(report.circuit.gates().iter().all(Gate::is_g_gate));
+        assert!(report.stats.iter().all(|s| s.pass.starts_with("verify(")));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let manager = Pipeline::standard(dim(3), 4);
+        let circuit = Circuit::new(dim(3), 3);
+        assert!(manager.run(circuit).is_err());
+    }
+
+    #[test]
+    fn synthesis_errors_surface_as_pass_errors() {
+        // A three-controlled gate cannot be lowered directly.
+        let mut circuit = Circuit::new(dim(3), 4);
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Swap(0, 1),
+                QuditId::new(3),
+                vec![
+                    Control::zero(QuditId::new(0)),
+                    Control::zero(QuditId::new(1)),
+                    Control::zero(QuditId::new(2)),
+                ],
+            ))
+            .unwrap();
+        let result = Pipeline::standard(dim(3), 4).run(circuit);
+        assert!(matches!(result, Err(QuditError::PassFailed { .. })));
+    }
+}

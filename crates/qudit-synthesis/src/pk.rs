@@ -73,8 +73,18 @@ fn pk_garbage(
         Gate::add_from(carrier, true, target, vec![Control::zero(last)]),
         Gate::controlled(minus_one, target, vec![Control::even_nonzero(last)]),
     ];
-    gates.extend(pk_garbage(dimension, &inputs[..k - 2], carrier, &ancillas[..k - 3]));
-    gates.push(Gate::add_from(carrier, false, target, vec![Control::zero(last)]));
+    gates.extend(pk_garbage(
+        dimension,
+        &inputs[..k - 2],
+        carrier,
+        &ancillas[..k - 3],
+    ));
+    gates.push(Gate::add_from(
+        carrier,
+        false,
+        target,
+        vec![Control::zero(last)],
+    ));
     gates
 }
 
@@ -110,10 +120,12 @@ pub fn pk_gates_borrowed(
         .filter(|q| !busy.contains(q))
         .collect();
     if available.len() < k - 2 {
-        return Err(SynthesisError::Core(qudit_core::QuditError::InsufficientAncillas {
-            required: k - 2,
-            available: available.len(),
-        }));
+        return Err(SynthesisError::Core(
+            qudit_core::QuditError::InsufficientAncillas {
+                required: k - 2,
+                available: available.len(),
+            },
+        ));
     }
     let ancillas = &available[..k - 2];
     let carrier = ancillas[k - 3];
@@ -157,7 +169,8 @@ pub fn pk_gates_one_ancilla(
     }
     if inputs.contains(&ancilla) || ancilla == target {
         return Err(SynthesisError::Lowering {
-            reason: "the borrowed ancilla of P_k must be distinct from its inputs and target".to_string(),
+            reason: "the borrowed ancilla of P_k must be distinct from its inputs and target"
+                .to_string(),
         });
     }
     if k == 2 {
@@ -210,7 +223,10 @@ pub fn pk_gates_one_ancilla(
 
 fn check_odd(dimension: Dimension) -> Result<()> {
     if dimension.get() < 3 {
-        return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+        return Err(SynthesisError::DimensionTooSmall {
+            dimension: dimension.get(),
+            minimum: 3,
+        });
     }
     if dimension.is_even() {
         return Err(SynthesisError::Lowering {
@@ -282,7 +298,8 @@ mod tests {
     fn p2_circuit_matches_spec() {
         for d in [3u32, 5] {
             let dimension = dim(d);
-            let gates = pk_gates_borrowed(dimension, &[QuditId::new(0)], QuditId::new(1), &[]).unwrap();
+            let gates =
+                pk_gates_borrowed(dimension, &[QuditId::new(0)], QuditId::new(1), &[]).unwrap();
             let circuit = circuit_from(dimension, 2, gates);
             check_pk(&circuit, &[0], 1);
         }
@@ -324,7 +341,8 @@ mod tests {
         let dimension = dim(5);
         let k = 3;
         let inputs: Vec<QuditId> = (0..k - 1).map(QuditId::new).collect();
-        let gates = pk_gates_one_ancilla(dimension, &inputs, QuditId::new(k - 1), QuditId::new(k)).unwrap();
+        let gates =
+            pk_gates_one_ancilla(dimension, &inputs, QuditId::new(k - 1), QuditId::new(k)).unwrap();
         let circuit = circuit_from(dimension, k + 1, gates);
         check_pk(&circuit, &[0, 1], 2);
     }
@@ -333,9 +351,12 @@ mod tests {
     fn pk_inverse_composes_to_identity() {
         let dimension = dim(3);
         let inputs: Vec<QuditId> = (0..3).map(QuditId::new).collect();
-        let gates = pk_gates_one_ancilla(dimension, &inputs, QuditId::new(3), QuditId::new(4)).unwrap();
+        let gates =
+            pk_gates_one_ancilla(dimension, &inputs, QuditId::new(3), QuditId::new(4)).unwrap();
         let mut circuit = circuit_from(dimension, 5, gates.clone());
-        circuit.extend_gates(inverse_gates(&gates, dimension)).unwrap();
+        circuit
+            .extend_gates(inverse_gates(&gates, dimension))
+            .unwrap();
         for state in all_states(dimension, 5) {
             assert_eq!(circuit.apply_to_basis(&state).unwrap(), state);
         }
@@ -371,10 +392,15 @@ mod tests {
         for k in 3..12usize {
             let inputs: Vec<QuditId> = (0..k - 1).map(QuditId::new).collect();
             let gates =
-                pk_gates_one_ancilla(dimension, &inputs, QuditId::new(k - 1), QuditId::new(k)).unwrap();
+                pk_gates_one_ancilla(dimension, &inputs, QuditId::new(k - 1), QuditId::new(k))
+                    .unwrap();
             assert!(gates.len() >= previous / 2, "gate count should not explode");
             // Linear bound with a generous constant (macro gates).
-            assert!(gates.len() <= 40 * k, "P_{k} used {} macro gates", gates.len());
+            assert!(
+                gates.len() <= 40 * k,
+                "P_{k} used {} macro gates",
+                gates.len()
+            );
             previous = gates.len();
         }
     }

@@ -4,8 +4,8 @@ use std::fmt;
 
 use qudit_core::{AncillaUsage, Circuit};
 
-use crate::error::Result;
-use crate::lower::{lower_to_elementary, lower_to_g_gates};
+use crate::error::{Result, SynthesisError};
+use crate::pipeline::Pipeline;
 
 /// Gate and ancilla counts of a synthesis, at the three circuit levels used
 /// by the evaluation:
@@ -41,14 +41,19 @@ impl Resources {
     /// it contains a general unitary gate, which has no G-gate expansion); in
     /// that case use [`Resources::for_macro_only`].
     pub fn for_circuit(circuit: &Circuit, ancillas: AncillaUsage) -> Result<Self> {
-        let elementary = lower_to_elementary(circuit)?;
-        let g = lower_to_g_gates(circuit)?;
+        // One lowering-pipeline run yields every level: the elementary
+        // counts from the first stage's output profile, the G-gate count
+        // from the second's.
+        let report = Pipeline::lowering(circuit.dimension(), circuit.width())
+            .run(circuit.clone())
+            .map_err(SynthesisError::from)?;
+        let elementary = &report.stats[0].after;
         Ok(Resources {
             width: circuit.width(),
             macro_gates: circuit.len(),
-            elementary_gates: elementary.len(),
-            two_qudit_gates: elementary.two_qudit_gate_count(),
-            g_gates: g.len(),
+            elementary_gates: elementary.gates,
+            two_qudit_gates: elementary.two_qudit_gates,
+            g_gates: report.circuit.len(),
             ancillas,
         })
     }
@@ -110,11 +115,15 @@ mod tests {
             .push(Gate::controlled(
                 SingleQuditOp::Swap(0, 1),
                 QuditId::new(2),
-                vec![Control::zero(QuditId::new(0)), Control::zero(QuditId::new(1))],
+                vec![
+                    Control::zero(QuditId::new(0)),
+                    Control::zero(QuditId::new(1)),
+                ],
             ))
             .unwrap();
         let resources =
-            Resources::for_circuit(&circuit, AncillaUsage::of_kind(AncillaKind::Borrowed, 0)).unwrap();
+            Resources::for_circuit(&circuit, AncillaUsage::of_kind(AncillaKind::Borrowed, 0))
+                .unwrap();
         assert_eq!(resources.macro_gates, 1);
         assert_eq!(resources.elementary_gates, 5); // the Fig. 5 gadget
         assert!(resources.g_gates >= resources.elementary_gates);
@@ -127,7 +136,8 @@ mod tests {
     fn macro_only_resources_skip_lowering() {
         let d = Dimension::new(3).unwrap();
         let circuit = Circuit::new(d, 2);
-        let resources = Resources::for_macro_only(&circuit, AncillaUsage::of_kind(AncillaKind::Clean, 1));
+        let resources =
+            Resources::for_macro_only(&circuit, AncillaUsage::of_kind(AncillaKind::Clean, 1));
         assert_eq!(resources.g_gates, 0);
         assert_eq!(resources.clean_ancillas(), 1);
         assert_eq!(resources.total_ancillas(), 1);

@@ -4,7 +4,6 @@
 
 use proptest::prelude::*;
 use qudit_core::{Circuit, Dimension, QuditId, SingleQuditOp};
-use qudit_synthesis::lower::lower_to_g_gates;
 use qudit_synthesis::pk::pk_target_image;
 use qudit_synthesis::{emit_multi_controlled, KToffoli, MultiControlledGate};
 
@@ -94,7 +93,7 @@ proptest! {
     #[test]
     fn lowering_produces_g_gates_only(dimension in any_dimension(), k in 1usize..=5) {
         let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
-        let g = lower_to_g_gates(synthesis.circuit()).unwrap();
+        let g = synthesis.g_gate_circuit().unwrap();
         prop_assert!(g.gates().iter().all(|gate| gate.is_g_gate()));
         prop_assert_eq!(g.len(), synthesis.resources().g_gates);
     }

@@ -11,12 +11,12 @@
 //! multi-controlled gates of Section III reduce that to one.
 
 use qudit_core::math::SquareMatrix;
+use qudit_core::pipeline::PassManager;
 use qudit_core::{
     AncillaKind, AncillaUsage, Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp,
 };
 use qudit_sim::basis::index_to_digits;
-use qudit_synthesis::lower::lower_to_elementary;
-use qudit_synthesis::{emit_controlled_unitary, Resources, SynthesisError};
+use qudit_synthesis::{emit_controlled_unitary, LowerToElementary, Resources, SynthesisError};
 
 use crate::two_level::{two_level_decompose, TwoLevelUnitary};
 
@@ -94,7 +94,10 @@ impl UnitarySynthesizer {
     /// Returns an error when `d < 3`.
     pub fn new(dimension: Dimension) -> Result<Self, SynthesisError> {
         if dimension.get() < 3 {
-            return Err(SynthesisError::DimensionTooSmall { dimension: dimension.get(), minimum: 3 });
+            return Err(SynthesisError::DimensionTooSmall {
+                dimension: dimension.get(),
+                minimum: 3,
+            });
         }
         Ok(UnitarySynthesizer { dimension })
     }
@@ -121,17 +124,23 @@ impl UnitarySynthesizer {
         let dimension = self.dimension;
         let expected = dimension.register_size(variables);
         if unitary.size() != expected {
-            return Err(SynthesisError::Core(qudit_core::QuditError::MatrixShapeMismatch {
-                found: unitary.size(),
-                expected,
-            }));
+            return Err(SynthesisError::Core(
+                qudit_core::QuditError::MatrixShapeMismatch {
+                    found: unitary.size(),
+                    expected,
+                },
+            ));
         }
         let factors = two_level_decompose(unitary).map_err(SynthesisError::from)?;
 
         let needs_ancilla = variables >= 3;
         let width = variables + usize::from(needs_ancilla || variables >= 2);
         let variable_ids: Vec<QuditId> = (0..variables).map(QuditId::new).collect();
-        let clean = if width > variables { Some(QuditId::new(variables)) } else { None };
+        let clean = if width > variables {
+            Some(QuditId::new(variables))
+        } else {
+            None
+        };
 
         let mut circuit = Circuit::new(dimension, width.max(1));
         for factor in &factors {
@@ -144,19 +153,27 @@ impl UnitarySynthesizer {
             AncillaUsage::none()
         };
         // General unitary gates have no G-gate expansion; report macro and
-        // elementary (two-qudit) counts.
-        let elementary = lower_to_elementary(&circuit)?;
+        // elementary (two-qudit) counts from the elementary-lowering pass.
+        let report = PassManager::new()
+            .with_pass(LowerToElementary)
+            .run(circuit.clone())
+            .map_err(SynthesisError::from)?;
+        let elementary = &report.stats[0].after;
         let resources = Resources {
             width: circuit.width(),
             macro_gates: circuit.len(),
-            elementary_gates: elementary.len(),
-            two_qudit_gates: elementary.two_qudit_gate_count(),
+            elementary_gates: elementary.gates,
+            two_qudit_gates: elementary.two_qudit_gates,
             g_gates: 0,
             ancillas,
         };
         Ok(UnitarySynthesis {
             circuit,
-            layout: UnitaryLayout { variables: variable_ids, clean_ancilla: clean, width: width.max(1) },
+            layout: UnitaryLayout {
+                variables: variable_ids,
+                clean_ancilla: clean,
+                width: width.max(1),
+            },
             resources,
             two_level_factors: factors.len(),
         })
@@ -211,7 +228,10 @@ impl UnitarySynthesizer {
         let controls: Vec<QuditId> = (0..n).filter(|&i| i != p).map(|i| variables[i]).collect();
         let mut conjugation = Vec::new();
         for (index, &qudit) in controls.iter().enumerate() {
-            let level = a[(0..n).filter(|&i| i != p).nth(index).expect("index in range")];
+            let level = a[(0..n)
+                .filter(|&i| i != p)
+                .nth(index)
+                .expect("index in range")];
             if level != 0 {
                 conjugation.push(Gate::single(SingleQuditOp::Swap(0, level), qudit));
             }
@@ -268,7 +288,10 @@ mod tests {
         let dimension = dim(3);
         let mut rng = StdRng::seed_from_u64(3);
         let u = random_unitary(3, &mut rng);
-        let synthesis = UnitarySynthesizer::new(dimension).unwrap().synthesize(&u, 1).unwrap();
+        let synthesis = UnitarySynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&u, 1)
+            .unwrap();
         let built = circuit_unitary(synthesis.circuit()).unwrap();
         assert!(built.approx_eq(&u, 1e-7), "distance {}", built.distance(&u));
         assert_eq!(synthesis.resources().clean_ancillas(), 0);
@@ -279,7 +302,10 @@ mod tests {
         let dimension = dim(3);
         let mut rng = StdRng::seed_from_u64(11);
         let u = random_unitary(9, &mut rng);
-        let synthesis = UnitarySynthesizer::new(dimension).unwrap().synthesize(&u, 2).unwrap();
+        let synthesis = UnitarySynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&u, 2)
+            .unwrap();
         // Width 3 (one idle ancilla qudit): the circuit unitary must equal
         // U ⊗ I on the ancilla.
         let built = circuit_unitary(synthesis.circuit()).unwrap();
@@ -291,7 +317,11 @@ mod tests {
                 }
             }
         }
-        assert!(built.approx_eq(&expected, 1e-7), "distance {}", built.distance(&expected));
+        assert!(
+            built.approx_eq(&expected, 1e-7),
+            "distance {}",
+            built.distance(&expected)
+        );
     }
 
     #[test]
@@ -299,7 +329,10 @@ mod tests {
         let dimension = dim(3);
         let mut rng = StdRng::seed_from_u64(19);
         let u = random_unitary(27, &mut rng);
-        let synthesis = UnitarySynthesizer::new(dimension).unwrap().synthesize(&u, 3).unwrap();
+        let synthesis = UnitarySynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&u, 3)
+            .unwrap();
         assert_eq!(synthesis.resources().clean_ancillas(), 1);
         // Spot-check a handful of columns: |x, ancilla=0⟩ must map to
         // (U|x⟩) ⊗ |0⟩.
@@ -328,8 +361,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(29);
         let u1 = random_unitary(3, &mut rng);
         let u2 = random_unitary(9, &mut rng);
-        let s1 = UnitarySynthesizer::new(dimension).unwrap().synthesize(&u1, 1).unwrap();
-        let s2 = UnitarySynthesizer::new(dimension).unwrap().synthesize(&u2, 2).unwrap();
+        let s1 = UnitarySynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&u1, 1)
+            .unwrap();
+        let s2 = UnitarySynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&u2, 2)
+            .unwrap();
         // d^{2n} grows by d² = 9 from n = 1 to n = 2; allow slack for the
         // O(n) factor of the two-level route.
         assert!(s2.resources().two_qudit_gates >= s1.resources().two_qudit_gates);
@@ -341,7 +380,9 @@ mod tests {
         let dimension = dim(3);
         let synthesizer = UnitarySynthesizer::new(dimension).unwrap();
         // Wrong size.
-        assert!(synthesizer.synthesize(&SquareMatrix::identity(8), 2).is_err());
+        assert!(synthesizer
+            .synthesize(&SquareMatrix::identity(8), 2)
+            .is_err());
         // Not unitary.
         let mut bad = SquareMatrix::identity(9);
         bad[(0, 0)] = Complex::from_real(3.0);

@@ -35,7 +35,11 @@ impl TwoLevelUnitary {
         let (i, j, block) = if i < j {
             (i, j, block)
         } else {
-            (j, i, [[block[1][1], block[1][0]], [block[0][1], block[0][0]]])
+            (
+                j,
+                i,
+                [[block[1][1], block[1][0]], [block[0][1], block[0][0]]],
+            )
         };
         let candidate = TwoLevelUnitary { i, j, block };
         if !candidate.block_matrix().is_unitary(1e-8) {
@@ -130,9 +134,17 @@ pub fn two_level_decompose(unitary: &SquareMatrix) -> Result<Vec<TwoLevelUnitary
         if !phase.approx_eq(Complex::ONE, TWO_LEVEL_TOLERANCE) {
             let partner = if col + 1 < size { col + 1 } else { col - 1 };
             let (i, j, block) = if col < partner {
-                (col, partner, [[phase.conj(), Complex::ZERO], [Complex::ZERO, Complex::ONE]])
+                (
+                    col,
+                    partner,
+                    [[phase.conj(), Complex::ZERO], [Complex::ZERO, Complex::ONE]],
+                )
             } else {
-                (partner, col, [[Complex::ONE, Complex::ZERO], [Complex::ZERO, phase.conj()]])
+                (
+                    partner,
+                    col,
+                    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, phase.conj()]],
+                )
             };
             let reducer = TwoLevelUnitary::new(i, j, block)?;
             left_multiply(&mut work, &reducer);

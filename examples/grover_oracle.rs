@@ -58,8 +58,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nOracle G-gate count vs. register size (d = 3):");
     for n in [2usize, 4, 6, 8] {
         let mut oracle = Circuit::new(dimension, n + 1);
-        let controls: Vec<(QuditId, u32)> = (0..n).map(|i| (QuditId::new(i), (i % 3) as u32)).collect();
-        emit_multi_controlled(&mut oracle, &controls, QuditId::new(n), &SingleQuditOp::Add(1), &[])?;
+        let controls: Vec<(QuditId, u32)> =
+            (0..n).map(|i| (QuditId::new(i), (i % 3) as u32)).collect();
+        emit_multi_controlled(
+            &mut oracle,
+            &controls,
+            QuditId::new(n),
+            &SingleQuditOp::Add(1),
+            &[],
+        )?;
         let resources = Resources::for_circuit(&oracle, qudit_core::AncillaUsage::none())?;
         println!("  n = {n}: {:6} G-gates", resources.g_gates);
     }

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d3 = Dimension::new(3)?;
     let odd = KToffoli::new(d3, 4)?.synthesize()?;
     println!("4-controlled Toffoli on qutrits (d = 3):");
-    println!("  layout:      {} qudits, borrowed ancillas: {:?}", odd.layout().width, odd.layout().borrowed_ancilla);
+    println!(
+        "  layout:      {} qudits, borrowed ancillas: {:?}",
+        odd.layout().width,
+        odd.layout().borrowed_ancilla
+    );
     println!("  macro gates: {}", odd.resources().macro_gates);
     println!("  G-gates:     {}", odd.resources().g_gates);
 
@@ -30,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d4 = Dimension::new(4)?;
     let even = KToffoli::new(d4, 4)?.synthesize()?;
     println!("\n4-controlled Toffoli on ququarts (d = 4):");
-    println!("  layout:      {} qudits, borrowed ancilla: {:?}", even.layout().width, even.layout().borrowed_ancilla);
+    println!(
+        "  layout:      {} qudits, borrowed ancilla: {:?}",
+        even.layout().width,
+        even.layout().borrowed_ancilla
+    );
     println!("  G-gates:     {}", even.resources().g_gates);
     let spec = MctSpec::toffoli(even.layout().controls.clone(), even.layout().target);
     let verdict = verify_mct_exhaustive(even.circuit(), &spec)?;
@@ -41,9 +49,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nG-gate count vs. number of controls (d = 3):");
     for k in [2usize, 4, 8, 16] {
         let synthesis = KToffoli::new(d3, k)?.synthesize()?;
-        println!("  k = {k:2}: {:6} G-gates ({:.1} per control)",
+        println!(
+            "  k = {k:2}: {:6} G-gates ({:.1} per control)",
             synthesis.resources().g_gates,
-            synthesis.resources().g_gates as f64 / k as f64);
+            synthesis.resources().g_gates as f64 / k as f64
+        );
     }
+
+    // --- The compilation pipeline ------------------------------------------
+    // The full paper flow (macro -> elementary -> G-gates -> cancellation)
+    // runs as a PassManager pipeline with per-pass statistics.
+    println!("\nStandard pipeline on the 4-controlled Toffoli (d = 3):");
+    let report = odd.compile()?;
+    for stats in &report.stats {
+        println!("  {stats}");
+    }
+    println!("  optimised: {} G-gates", report.circuit.len());
     Ok(())
 }

@@ -16,7 +16,10 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2023);
 
-    println!("{:>3} {:>3} {:>9} {:>10} {:>12} {:>12} {:>9}", "d", "n", "2-cycles", "G-gates", "n*d^n", "lower bnd", "ancillas");
+    println!(
+        "{:>3} {:>3} {:>9} {:>10} {:>12} {:>12} {:>9}",
+        "d", "n", "2-cycles", "G-gates", "n*d^n", "lower bnd", "ancillas"
+    );
     for (d, n) in [(3u32, 2usize), (3, 3), (5, 2), (4, 2), (4, 3)] {
         let dimension = Dimension::new(d)?;
         let function = ReversibleFunction::random(dimension, n, &mut rng);

@@ -24,8 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Vec::new();
     for state in all_basis_states(dimension, variables) {
         let (a, b, s) = (state[0], state[1], state[2]);
-        let image = vec![a, b, (s + a + b) % 3];
-        let index = image.iter().fold(0usize, |acc, &digit| acc * 3 + digit as usize);
+        let image = [a, b, (s + a + b) % 3];
+        let index = image
+            .iter()
+            .fold(0usize, |acc, &digit| acc * 3 + digit as usize);
         table.push(index);
     }
     let adder = ReversibleFunction::from_table(dimension, variables, table)?;

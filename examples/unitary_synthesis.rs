@@ -22,14 +22,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A Haar-like random unitary on two qutrits (9 × 9).
     let unitary = random_unitary(dimension.register_size(variables), &mut rng);
     let factors = two_level_decompose(&unitary)?;
-    println!("Two-level decomposition of a random 9x9 unitary: {} factors", factors.len());
+    println!(
+        "Two-level decomposition of a random 9x9 unitary: {} factors",
+        factors.len()
+    );
 
     let synthesis = UnitarySynthesizer::new(dimension)?.synthesize(&unitary, variables)?;
     println!("Synthesis over {} qudits:", synthesis.layout().width);
     println!("  two-level factors: {}", synthesis.two_level_factors());
     println!("  macro gates:       {}", synthesis.resources().macro_gates);
-    println!("  two-qudit gates:   {}", synthesis.resources().two_qudit_gates);
-    println!("  clean ancillas:    {}", synthesis.resources().clean_ancillas());
+    println!(
+        "  two-qudit gates:   {}",
+        synthesis.resources().two_qudit_gates
+    );
+    println!(
+        "  clean ancillas:    {}",
+        synthesis.resources().clean_ancillas()
+    );
     println!("  d^(2n) reference:  {}", 3u32.pow(2 * variables as u32));
 
     // Verify numerically: the circuit acts as U ⊗ I on the idle ancilla wire.

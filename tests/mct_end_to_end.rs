@@ -19,7 +19,10 @@ fn toffoli_matches_spec_exhaustively_for_small_parameters() {
     for (d, max_k) in [(3u32, 5usize), (4, 4), (5, 3)] {
         for k in 1..=max_k {
             let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
-            let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
+            let spec = MctSpec::toffoli(
+                synthesis.layout().controls.clone(),
+                synthesis.layout().target,
+            );
             let verdict = verify_mct_exhaustive(synthesis.circuit(), &spec).unwrap();
             assert!(verdict.is_pass(), "d={d}, k={k}: {verdict:?}");
         }
@@ -33,7 +36,10 @@ fn lowered_toffoli_matches_spec_exhaustively() {
         let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
         let g_circuit = synthesis.g_gate_circuit().unwrap();
         assert!(g_circuit.gates().iter().all(Gate::is_g_gate));
-        let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
+        let spec = MctSpec::toffoli(
+            synthesis.layout().controls.clone(),
+            synthesis.layout().target,
+        );
         let verdict = verify_mct_exhaustive(&g_circuit, &spec).unwrap();
         assert!(verdict.is_pass(), "d={d}, k={k}: {verdict:?}");
     }
@@ -44,7 +50,10 @@ fn large_toffoli_matches_spec_on_random_inputs() {
     let mut rng = StdRng::seed_from_u64(99);
     for (d, k) in [(3u32, 10usize), (3, 16), (4, 10), (5, 8)] {
         let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
-        let spec = MctSpec::toffoli(synthesis.layout().controls.clone(), synthesis.layout().target);
+        let spec = MctSpec::toffoli(
+            synthesis.layout().controls.clone(),
+            synthesis.layout().target,
+        );
         let verdict = verify_mct_sampled(synthesis.circuit(), &spec, 200, &mut rng).unwrap();
         assert!(verdict.is_pass(), "d={d}, k={k}: {verdict:?}");
     }
@@ -62,11 +71,11 @@ fn ours_and_clean_ancilla_baseline_agree_on_the_toffoli_action() {
         .synthesize()
         .unwrap();
     let spec_ours = MctSpec::toffoli(ours.layout().controls.clone(), ours.layout().target);
-    let spec_baseline = MctSpec::toffoli(
-        baseline.layout().controls.clone(),
-        baseline.layout().target,
-    );
-    assert!(verify_mct_exhaustive(ours.circuit(), &spec_ours).unwrap().is_pass());
+    let spec_baseline =
+        MctSpec::toffoli(baseline.layout().controls.clone(), baseline.layout().target);
+    assert!(verify_mct_exhaustive(ours.circuit(), &spec_ours)
+        .unwrap()
+        .is_pass());
     // The baseline only honours the clean-ancilla contract.
     let verdict = qudit_sim::equivalence::verify_mct_with_clean_ancilla(
         baseline.circuit(),
@@ -80,7 +89,12 @@ fn ours_and_clean_ancilla_baseline_agree_on_the_toffoli_action() {
     let dimension = baseline.circuit().dimension();
     for index in 0..dimension.register_size(width) {
         let digits = qudit_sim::basis::index_to_digits(index, dimension, width);
-        if baseline.layout().clean_ancillas.iter().any(|a| digits[a.index()] != 0) {
+        if baseline
+            .layout()
+            .clean_ancillas
+            .iter()
+            .any(|a| digits[a.index()] != 0)
+        {
             continue;
         }
         let expected = spec_baseline.expected_output(&digits, dimension).unwrap();
@@ -145,7 +159,10 @@ fn controlled_unitary_full_pipeline_with_simulator() {
 fn even_dimension_toffoli_keeps_the_borrowed_ancilla_intact() {
     let d = dim(4);
     let synthesis = KToffoli::new(d, 3).unwrap().synthesize().unwrap();
-    let ancilla = synthesis.layout().borrowed_ancilla.expect("even d uses a borrowed ancilla");
+    let ancilla = synthesis
+        .layout()
+        .borrowed_ancilla
+        .expect("even d uses a borrowed ancilla");
     let dimension = synthesis.circuit().dimension();
     for index in 0..dimension.register_size(synthesis.layout().width) {
         let digits = qudit_sim::basis::index_to_digits(index, dimension, synthesis.layout().width);
@@ -164,7 +181,10 @@ fn resources_are_consistent_across_lowering_levels() {
         let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
         let r = synthesis.resources();
         assert_eq!(r.macro_gates, synthesis.circuit().len());
-        assert_eq!(r.elementary_gates, synthesis.elementary_circuit().unwrap().len());
+        assert_eq!(
+            r.elementary_gates,
+            synthesis.elementary_circuit().unwrap().len()
+        );
         assert_eq!(r.g_gates, synthesis.g_gate_circuit().unwrap().len());
         assert!(r.g_gates >= r.elementary_gates);
         assert!(r.elementary_gates >= r.macro_gates);
@@ -177,7 +197,14 @@ fn g_gate_counts_scale_linearly_not_quadratically() {
     // when k doubles; for a quadratic count it would quadruple.  Check that
     // the increment ratio stays close to 2.
     for d in [3u32, 4] {
-        let g = |k: usize| KToffoli::new(dim(d), k).unwrap().synthesize().unwrap().resources().g_gates as f64;
+        let g = |k: usize| {
+            KToffoli::new(dim(d), k)
+                .unwrap()
+                .synthesize()
+                .unwrap()
+                .resources()
+                .g_gates as f64
+        };
         let (g8, g16, g32) = (g(8), g(16), g(32));
         let increment_ratio = (g32 - g16) / (g16 - g8);
         assert!(

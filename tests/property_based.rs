@@ -67,12 +67,18 @@ fn classical_circuit_strategy(
                 2 => ControlPredicate::EvenNonzero,
                 _ => ControlPredicate::NonZero,
             };
-            Some(Gate::controlled(op, QuditId::new(t), vec![Control::new(QuditId::new(c), predicate)]))
+            Some(Gate::controlled(
+                op,
+                QuditId::new(t),
+                vec![Control::new(QuditId::new(c), predicate)],
+            ))
         });
     prop::collection::vec(gate, 0..max_gates).prop_map(move |gates| {
         let mut circuit = Circuit::new(dimension, width);
         for gate in gates {
-            circuit.push(gate).expect("strategy only builds valid gates");
+            circuit
+                .push(gate)
+                .expect("strategy only builds valid gates");
         }
         circuit
     })

@@ -21,12 +21,19 @@ fn random_reversible_functions_compile_and_verify() {
     for (d, n) in [(3u32, 2usize), (3, 3), (4, 2), (4, 3), (5, 2)] {
         let dimension = dim(d);
         let function = ReversibleFunction::random(dimension, n, &mut rng);
-        let synthesis = ReversibleSynthesizer::new(dimension).unwrap().synthesize(&function).unwrap();
+        let synthesis = ReversibleSynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&function)
+            .unwrap();
         for state in all_basis_states(dimension, n) {
             let mut padded = state.clone();
             padded.resize(synthesis.layout().width, 0);
             let output = synthesis.circuit().apply_to_basis(&padded).unwrap();
-            assert_eq!(&output[..n], function.apply(&state).unwrap().as_slice(), "d={d}, n={n}");
+            assert_eq!(
+                &output[..n],
+                function.apply(&state).unwrap().as_slice(),
+                "d={d}, n={n}"
+            );
         }
         // Ancilla policy matches the theorem.
         let expected_ancillas = usize::from(dimension.is_even() && n >= 3);
@@ -61,7 +68,10 @@ fn measured_gate_counts_exceed_the_lower_bound() {
     for (d, n) in [(3u32, 2usize), (3, 3)] {
         let dimension = dim(d);
         let function = ReversibleFunction::random(dimension, n, &mut rng);
-        let synthesis = ReversibleSynthesizer::new(dimension).unwrap().synthesize(&function).unwrap();
+        let synthesis = ReversibleSynthesizer::new(dimension)
+            .unwrap()
+            .synthesize(&function)
+            .unwrap();
         let bound = lower_bound::g_gate_lower_bound(dimension, n, 2);
         // The bound is a worst-case statement; a random function is close to
         // worst case, so the measured count should comfortably exceed it.
@@ -89,7 +99,10 @@ fn unitary_synthesis_reproduces_two_qutrit_unitaries() {
     let dimension = dim(3);
     let mut rng = StdRng::seed_from_u64(8);
     let u = random_unitary(9, &mut rng);
-    let synthesis = UnitarySynthesizer::new(dimension).unwrap().synthesize(&u, 2).unwrap();
+    let synthesis = UnitarySynthesizer::new(dimension)
+        .unwrap()
+        .synthesize(&u, 2)
+        .unwrap();
     let built = circuit_unitary(synthesis.circuit()).unwrap();
     // The register has an idle third qudit: compare block-diagonally.
     for r in 0..9 {
@@ -117,8 +130,14 @@ fn unitary_synthesis_of_permutation_matrices_matches_reversible_compiler() {
     let map: Vec<usize> = function.table().to_vec();
     let matrix = qudit_core::math::SquareMatrix::from_permutation(&map).unwrap();
 
-    let unitary_route = UnitarySynthesizer::new(dimension).unwrap().synthesize(&matrix, 2).unwrap();
-    let reversible_route = ReversibleSynthesizer::new(dimension).unwrap().synthesize(&function).unwrap();
+    let unitary_route = UnitarySynthesizer::new(dimension)
+        .unwrap()
+        .synthesize(&matrix, 2)
+        .unwrap();
+    let reversible_route = ReversibleSynthesizer::new(dimension)
+        .unwrap()
+        .synthesize(&function)
+        .unwrap();
 
     for state in all_basis_states(dimension, 2) {
         let expected = function.apply(&state).unwrap();
@@ -141,8 +160,23 @@ fn experiment_smoke_quick_report_contains_every_section() {
     use qudit_bench::experiments::{full_report, Scale};
     let report = full_report(Scale::Quick);
     for heading in [
-        "E1", "E2", "E3", "E3a", "E4", "E5", "E6", "E7", "E8", "E9", "Figure verification",
+        "E1",
+        "E2",
+        "E3",
+        "E3a",
+        "E4",
+        "E5",
+        "E6",
+        "E7",
+        "E8",
+        "E9",
+        "E10",
+        "E11",
+        "Figure verification",
     ] {
-        assert!(report.contains(heading), "report is missing section {heading}");
+        assert!(
+            report.contains(heading),
+            "report is missing section {heading}"
+        );
     }
 }

@@ -1,0 +1,181 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository has no network access, so the
+//! workspace vendors the minimal API surface its benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` / `bench_with_input`
+//! / `finish`, [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark runs a small
+//! fixed number of iterations and prints the mean wall-clock time — enough
+//! to eyeball regressions without pulling in the full dependency tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark.
+const ITERATIONS: u32 = 10;
+
+/// Identifier of a benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier combining a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An identifier consisting of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times the routine over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration, then timed iterations.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(routine());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / f64::from(ITERATIONS);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&name.to_string(), bencher.mean_nanos);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the iteration count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&format!("{}/{id}", self.name), bencher.mean_nanos);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, mean_nanos: f64) {
+    if mean_nanos >= 1_000_000.0 {
+        println!(
+            "bench: {name:<60} {:>12.3} ms/iter",
+            mean_nanos / 1_000_000.0
+        );
+    } else {
+        println!("bench: {name:<60} {:>12.1} ns/iter", mean_nanos);
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.sample_size(10);
+        for &n in &[10u64, 100] {
+            group.bench_with_input(BenchmarkId::new("range", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.finish();
+        c.bench_function("constant", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! workspace vendors the *minimal* API surface it actually uses: the [`Rng`]
+//! trait with [`Rng::gen_range`], [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`].  The generator is a SplitMix64 — deterministic, seedable
+//! and statistically more than good enough for test-input generation and
+//! benchmark workloads (it is *not* cryptographically secure, and neither is
+//! the real `StdRng` contract relied upon for that here).
+//!
+//! The API is signature-compatible with `rand 0.8` for the subset provided,
+//! so swapping the real crate back in is a one-line manifest change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator.
+///
+/// Only [`Rng::next_u64`] is required; everything else is derived.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from the given range.
+    ///
+    /// Supports `Range` and `RangeInclusive` over the unsigned integer types
+    /// and `Range<f64>`, which covers every use in this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// A range that a uniform sample of type `T` can be drawn from.
+///
+/// Mirrors the `(T, R)` shape of the real crate — with blanket impls over
+/// [`SampleUniform`] — so that integer-literal ranges infer their type from
+/// the call site.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T;
+}
+
+/// Types that uniform samples can be drawn for.
+pub trait SampleUniform: Sized {
+    /// Draws a sample from `[start, end)` (`[start, end]` when `inclusive`).
+    fn sample_between<G: Rng>(start: Self, end: Self, inclusive: bool, rng: &mut G) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+macro_rules! impl_uint_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: Rng>(start: $t, end: $t, inclusive: bool, rng: &mut G) -> $t {
+                let span = if inclusive {
+                    assert!(start <= end, "cannot sample from an empty range");
+                    (end - start) as u64 + 1
+                } else {
+                    assert!(start < end, "cannot sample from an empty range");
+                    (end - start) as u64
+                };
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_sample_uniform!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_between<G: Rng>(start: f64, end: f64, _inclusive: bool, rng: &mut G) -> f64 {
+        assert!(start < end, "cannot sample from an empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + unit * (end - start)
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u32..9);
+            assert!((3..9).contains(&x));
+            let y = rng.gen_range(0usize..=4);
+            assert!(y <= 4);
+            let z = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
