@@ -1,6 +1,6 @@
 //! Analytical cost models for prior work that cannot be reproduced as
 //! circuits from the citations alone, plus the qutrit Clifford+T cost model
-//! used for the fault-tolerance comparison (Section IV / [24]).
+//! used for the fault-tolerance comparison (Section IV / ref.&nbsp;24).
 //!
 //! These models only appear in the comparison tables (experiments E1 and
 //! E8); correctness baselines are the explicit circuits in
@@ -8,7 +8,7 @@
 
 use qudit_core::{Circuit, Dimension, Gate, GateOp, SingleQuditOp};
 
-/// Gate-count model for the Di & Wei ancilla-free synthesis ([20] in the
+/// Gate-count model for the Di & Wei ancilla-free synthesis (ref. 20 in the
 /// paper): `Θ(k³)` two-qudit gates.
 ///
 /// The constant is normalised so that the model agrees with the paper's
@@ -22,7 +22,7 @@ pub fn di_wei_cubic_count(dimension: Dimension, controls: usize) -> f64 {
 }
 
 /// Clifford+T count model for the Yeh & van de Wetering qutrit construction
-/// ([24] in the paper): `Θ(k^{log₂ 12}) ≈ Θ(k^{3.585})`.
+/// (ref. 24 in the paper): `Θ(k^{log₂ 12}) ≈ Θ(k^{3.585})`.
 pub fn yeh_wetering_clifford_t_count(controls: usize) -> f64 {
     let k = controls as f64;
     let exponent = 12f64.log2(); // ≈ 3.585
@@ -31,7 +31,7 @@ pub fn yeh_wetering_clifford_t_count(controls: usize) -> f64 {
 }
 
 /// Clifford+T cost assigned to each qutrit G-gate, following the exact
-/// syntheses of [24] (every qutrit G-gate has a constant-size Clifford+T
+/// syntheses of ref. 24 (every qutrit G-gate has a constant-size Clifford+T
 /// circuit).  The constants are model parameters: the asymptotic comparison
 /// (linear vs. `k^{3.585}`) does not depend on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

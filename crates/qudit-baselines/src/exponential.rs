@@ -1,5 +1,5 @@
 //! The ancilla-free but exponential-size baseline (standing in for Moraga
-//! [25] in the paper's comparison).
+//! ref. 25 in the paper's comparison).
 //!
 //! The construction recursively applies the paper's own Fig. 5 identity,
 //! replacing the single control `x1` with the conjunction of the first

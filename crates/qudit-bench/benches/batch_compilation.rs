@@ -1,0 +1,125 @@
+//! Criterion bench: batch compilation of the k-Toffoli sweep — sequential
+//! vs. parallel (`run_batch`) vs. cached vs. parallel+cached.
+//!
+//! The workload is the E11-style sweep: the macro circuits of several
+//! `(d, k)` k-Toffoli syntheses, compiled through the full standard flow
+//! (lower-to-elementary → lower-to-g-gates → cancel-inverse-pairs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_core::pipeline::{CacheMode, PassManager};
+use qudit_core::pool::WorkStealingPool;
+use qudit_core::{Circuit, Dimension};
+use qudit_synthesis::{KToffoli, Pipeline};
+
+/// The benchmark's compilation jobs: one macro circuit per `(d, k)`.
+fn jobs() -> Vec<Circuit> {
+    let mut out = Vec::new();
+    for &d in &[3u32, 4] {
+        for &k in &[4usize, 8, 16] {
+            let dimension = Dimension::new(d).unwrap();
+            out.push(
+                KToffoli::new(dimension, k)
+                    .unwrap()
+                    .synthesize()
+                    .unwrap()
+                    .circuit()
+                    .clone(),
+            );
+        }
+    }
+    out
+}
+
+/// The standard flow without a cache (shape-agnostic so one manager covers
+/// the whole sweep).
+fn uncached_manager() -> PassManager {
+    Pipeline::standard_batch().with_cache(CacheMode::Off)
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let jobs = jobs();
+    let manager = uncached_manager();
+    let mut group = c.benchmark_group("batch_compilation");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sequential"),
+        &jobs,
+        |b, jobs| {
+            b.iter(|| {
+                jobs.iter()
+                    .map(|job| manager.run(job.clone()).unwrap().circuit.len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let jobs = jobs();
+    let manager = uncached_manager();
+    let pool = WorkStealingPool::new();
+    let mut group = c.benchmark_group("batch_compilation");
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("parallel_t{}", pool.threads())),
+        &jobs,
+        |b, jobs| {
+            b.iter(|| {
+                manager
+                    .run_batch_on(jobs.clone(), &pool)
+                    .unwrap()
+                    .circuits()
+                    .map(Circuit::len)
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_cached(c: &mut Criterion) {
+    let jobs = jobs();
+    let manager = Pipeline::standard_batch(); // per-run cache
+    let mut group = c.benchmark_group("batch_compilation");
+    group.bench_with_input(BenchmarkId::from_parameter("cached"), &jobs, |b, jobs| {
+        b.iter(|| {
+            jobs.iter()
+                .map(|job| manager.run(job.clone()).unwrap().circuit.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_cached(c: &mut Criterion) {
+    let jobs = jobs();
+    let pool = WorkStealingPool::new();
+    let mut group = c.benchmark_group("batch_compilation");
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("parallel_cached_t{}", pool.threads())),
+        &jobs,
+        |b, jobs| {
+            b.iter(|| {
+                // A shared cache reuses gadget expansions across the whole
+                // sweep (same dimension ⇒ same canonical gadgets).
+                let manager = Pipeline::standard_batch()
+                    .with_cache(CacheMode::Shared(qudit_core::cache::LoweringCache::shared()));
+                manager
+                    .run_batch_on(jobs.clone(), &pool)
+                    .unwrap()
+                    .circuits()
+                    .map(Circuit::len)
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_parallel,
+    bench_cached,
+    bench_parallel_cached
+);
+criterion_main!(benches);

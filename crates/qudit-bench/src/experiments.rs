@@ -222,10 +222,64 @@ pub fn e3_linear_scaling(scale: Scale) -> Table {
     table
 }
 
+/// The `(d, k)` parameter sweep of the E10 peephole experiment.
+pub fn e10_sweep(scale: Scale) -> Vec<(u32, usize)> {
+    let ks: Vec<usize> = match scale {
+        Scale::Quick => vec![3, 4, 6],
+        Scale::Full => vec![3, 4, 6, 8, 12, 16],
+    };
+    [3u32, 4]
+        .iter()
+        .flat_map(|&d| ks.iter().map(move |&k| (d, k)))
+        .collect()
+}
+
+/// Runs the k-Toffoli synthesis for every `(d, k)` of a sweep.
+pub fn sweep_syntheses(sweep: &[(u32, usize)]) -> Vec<qudit_synthesis::MctSynthesis> {
+    sweep
+        .iter()
+        .map(|&(d, k)| KToffoli::new(dim(d), k).unwrap().synthesize().unwrap())
+        .collect()
+}
+
+/// Synthesises the macro circuits of a `(d, k)` sweep — the batch jobs the
+/// E10/E11 pipeline experiments compile.
+pub fn sweep_jobs(sweep: &[(u32, usize)]) -> Vec<qudit_core::Circuit> {
+    sweep_syntheses(sweep)
+        .iter()
+        .map(|synthesis| synthesis.circuit().clone())
+        .collect()
+}
+
 /// E10 — ablation: the peephole optimiser (`cancel_inverse_pairs`) applied to
 /// the fully lowered G-gate circuits.  The constructions conjugate levels
 /// aggressively, so a noticeable fraction of the G-gates cancels.
+///
+/// The whole sweep is compiled concurrently through
+/// [`PassManager::run_batch`](qudit_core::pipeline::PassManager::run_batch)
+/// on the cached batch pipeline; the table is identical to compiling each
+/// job sequentially (wall times aside).
 pub fn e10_peephole(scale: Scale) -> Table {
+    let sweep = e10_sweep(scale);
+    let syntheses = sweep_syntheses(&sweep);
+    let jobs: Vec<qudit_core::Circuit> = syntheses
+        .iter()
+        .map(|synthesis| synthesis.circuit().clone())
+        .collect();
+    let batch = Pipeline::standard_batch()
+        .run_batch(jobs)
+        .expect("the k-Toffoli sweep compiles");
+    e10_table_from_reports(&sweep, &syntheses, &batch.reports)
+}
+
+/// Renders the E10 table from per-job syntheses and pipeline reports (one of
+/// each per sweep entry).  Exposed so tests can compare the batch path
+/// against a sequentially compiled sweep.
+pub fn e10_table_from_reports(
+    sweep: &[(u32, usize)],
+    syntheses: &[qudit_synthesis::MctSynthesis],
+    reports: &[qudit_core::pipeline::PipelineReport],
+) -> Table {
     let mut table = Table::new(
         "E10 — peephole optimisation of the lowered k-Toffoli circuits",
         &[
@@ -237,54 +291,74 @@ pub fn e10_peephole(scale: Scale) -> Table {
             "verified",
         ],
     );
-    let ks: Vec<usize> = match scale {
-        Scale::Quick => vec![3, 4, 6],
-        Scale::Full => vec![3, 4, 6, 8, 12, 16],
-    };
-    for &d in &[3u32, 4] {
-        for &k in &ks {
-            let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
-            // The full standard pipeline; the cancellation stage's statistics
-            // give the before/after G-gate counts directly.
-            let report = synthesis.compile().unwrap();
-            let cancel = report
-                .stats_for("cancel-inverse-pairs")
-                .expect("standard pipeline ends with cancellation");
-            let (g_gates, optimized_gates) = (cancel.before.gates, cancel.after.gates);
-            // Verify that the optimised circuit still implements the Toffoli
-            // (sampled for larger registers, exhaustive for small ones).
-            let spec = MctSpec::toffoli(
-                synthesis.layout().controls.clone(),
-                synthesis.layout().target,
-            );
-            let verified = if dim(d).register_size(synthesis.layout().width) <= 4096 {
-                verify_mct_exhaustive(&report.circuit, &spec)
-                    .unwrap()
-                    .is_pass()
-            } else {
-                let mut rng = StdRng::seed_from_u64(5);
-                qudit_sim::equivalence::verify_mct_sampled(&report.circuit, &spec, 100, &mut rng)
-                    .unwrap()
-                    .is_pass()
-            };
-            let removed = g_gates - optimized_gates;
-            table.push_row(vec![
-                d.to_string(),
-                k.to_string(),
-                g_gates.to_string(),
-                optimized_gates.to_string(),
-                fmt_f64(100.0 * removed as f64 / g_gates as f64),
-                verified.to_string(),
-            ]);
-        }
+    for ((&(d, k), synthesis), report) in sweep.iter().zip(syntheses).zip(reports) {
+        let cancel = report
+            .stats_for("cancel-inverse-pairs")
+            .expect("standard pipeline ends with cancellation");
+        let (g_gates, optimized_gates) = (cancel.before.gates, cancel.after.gates);
+        // Verify that the optimised circuit still implements the Toffoli
+        // (sampled for larger registers, exhaustive for small ones).
+        let spec = MctSpec::toffoli(
+            synthesis.layout().controls.clone(),
+            synthesis.layout().target,
+        );
+        let verified = if dim(d).register_size(synthesis.layout().width) <= 4096 {
+            verify_mct_exhaustive(&report.circuit, &spec)
+                .unwrap()
+                .is_pass()
+        } else {
+            let mut rng = StdRng::seed_from_u64(5);
+            qudit_sim::equivalence::verify_mct_sampled(&report.circuit, &spec, 100, &mut rng)
+                .unwrap()
+                .is_pass()
+        };
+        let removed = g_gates - optimized_gates;
+        table.push_row(vec![
+            d.to_string(),
+            k.to_string(),
+            g_gates.to_string(),
+            optimized_gates.to_string(),
+            fmt_f64(100.0 * removed as f64 / g_gates as f64),
+            verified.to_string(),
+        ]);
     }
     table
 }
 
+/// The `(d, k)` parameter sweep of the E11 pipeline-statistics experiment.
+pub fn e11_sweep(scale: Scale) -> Vec<(u32, usize)> {
+    let ks: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 8],
+        Scale::Full => vec![4, 8, 16, 32],
+    };
+    [3u32, 4]
+        .iter()
+        .flat_map(|&d| ks.iter().map(move |&k| (d, k)))
+        .collect()
+}
+
 /// E11 — the compilation pipeline itself: per-pass statistics (gate counts,
-/// depth, wall time) of `Pipeline::standard` on the k-Toffoli circuits, as
-/// recorded by the `PassManager`.
+/// depth, lowering-cache hits, wall time) of the standard flow on the
+/// k-Toffoli circuits, as recorded by the `PassManager`.
+///
+/// The sweep is compiled concurrently through `run_batch` with a per-job
+/// lowering cache, so the cache columns are deterministic and the table
+/// matches the sequential path (wall times aside).
 pub fn e11_pipeline(scale: Scale) -> Table {
+    let sweep = e11_sweep(scale);
+    let batch = Pipeline::standard_batch()
+        .run_batch(sweep_jobs(&sweep))
+        .expect("the k-Toffoli sweep compiles");
+    e11_table_from_reports(&sweep, &batch.reports)
+}
+
+/// Renders the E11 table from per-job pipeline reports (one per sweep
+/// entry).  Exposed so tests can compare the batch path against a
+/// sequentially compiled sweep.
+pub fn e11_table_from_reports(
+    sweep: &[(u32, usize)],
+    reports: &[qudit_core::pipeline::PipelineReport],
+) -> Table {
     let mut table = Table::new(
         "E11 — standard pipeline per-pass statistics (macro -> elementary -> G -> optimised)",
         &[
@@ -295,29 +369,32 @@ pub fn e11_pipeline(scale: Scale) -> Table {
             "gates out",
             "depth in",
             "depth out",
+            "cache hits",
+            "cache hit %",
             "elapsed µs",
         ],
     );
-    let ks: Vec<usize> = match scale {
-        Scale::Quick => vec![4, 8],
-        Scale::Full => vec![4, 8, 16, 32],
-    };
-    for &d in &[3u32, 4] {
-        for &k in &ks {
-            let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
-            let report = synthesis.compile().unwrap();
-            for stats in &report.stats {
-                table.push_row(vec![
-                    d.to_string(),
-                    k.to_string(),
-                    stats.pass.clone(),
-                    stats.before.gates.to_string(),
-                    stats.after.gates.to_string(),
-                    stats.before.depth.to_string(),
-                    stats.after.depth.to_string(),
-                    fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
-                ]);
-            }
+    for (&(d, k), report) in sweep.iter().zip(reports) {
+        for stats in &report.stats {
+            let (cache_hits, cache_rate) = match stats.cache {
+                Some(cache) if cache.total() > 0 => {
+                    (cache.hits.to_string(), fmt_f64(cache.hit_rate() * 100.0))
+                }
+                Some(_) => ("0".to_string(), "-".to_string()),
+                None => ("-".to_string(), "-".to_string()),
+            };
+            table.push_row(vec![
+                d.to_string(),
+                k.to_string(),
+                stats.pass.clone(),
+                stats.before.gates.to_string(),
+                stats.after.gates.to_string(),
+                stats.before.depth.to_string(),
+                stats.after.depth.to_string(),
+                cache_hits,
+                cache_rate,
+                fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
+            ]);
         }
     }
     table
@@ -970,5 +1047,88 @@ mod tests {
         let last = table.rows.last().unwrap();
         let ratio: f64 = last[3].parse().unwrap();
         assert!(ratio > 0.0);
+    }
+
+    /// Drops the wall-time column (the only nondeterministic one) from a
+    /// table's rows.
+    fn without_elapsed(table: &Table) -> Vec<Vec<String>> {
+        let elapsed = table
+            .headers
+            .iter()
+            .position(|h| h.starts_with("elapsed"))
+            .expect("table has an elapsed column");
+        table
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != elapsed)
+                    .map(|(_, cell)| cell.clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn e11_batch_matches_sequential_and_reports_cache_hits() {
+        use qudit_core::pool::WorkStealingPool;
+
+        let sweep = e11_sweep(Scale::Quick);
+        let jobs = sweep_jobs(&sweep);
+        let manager = Pipeline::standard_batch();
+
+        // Sequential reference: one job at a time, in order.
+        let sequential: Vec<_> = jobs
+            .iter()
+            .map(|job| manager.run(job.clone()).unwrap())
+            .collect();
+        // Batch path, forced multi-threaded.
+        let batch = manager
+            .run_batch_on(jobs, &WorkStealingPool::with_threads(4))
+            .unwrap();
+
+        let sequential_table = e11_table_from_reports(&sweep, &sequential);
+        let batch_table = e11_table_from_reports(&sweep, &batch.reports);
+        assert_eq!(
+            without_elapsed(&sequential_table),
+            without_elapsed(&batch_table),
+            "batch compilation must reproduce the sequential E11 table"
+        );
+
+        // The lowering passes must report a positive cache hit-rate.
+        let hits_column = batch_table
+            .headers
+            .iter()
+            .position(|h| h == "cache hits")
+            .unwrap();
+        let total_hits: u64 = batch_table
+            .rows
+            .iter()
+            .filter_map(|row| row[hits_column].parse::<u64>().ok())
+            .sum();
+        assert!(total_hits > 0, "expected cache hits in the E11 sweep");
+    }
+
+    #[test]
+    fn e10_batch_matches_sequential() {
+        use qudit_core::pool::WorkStealingPool;
+
+        let sweep = e10_sweep(Scale::Quick);
+        let syntheses = sweep_syntheses(&sweep);
+        let jobs = sweep_jobs(&sweep);
+        let manager = Pipeline::standard_batch();
+        let sequential: Vec<_> = jobs
+            .iter()
+            .map(|job| manager.run(job.clone()).unwrap())
+            .collect();
+        let batch = manager
+            .run_batch_on(jobs, &WorkStealingPool::with_threads(4))
+            .unwrap();
+        assert_eq!(
+            e10_table_from_reports(&sweep, &syntheses, &sequential).rows,
+            e10_table_from_reports(&sweep, &syntheses, &batch.reports).rows,
+            "batch compilation must reproduce the sequential E10 table"
+        );
     }
 }

@@ -2,13 +2,17 @@
 //! Multi-Controlled Qudit Gates* reproduction.
 //!
 //! * [`experiments`] — one function per experiment of the evaluation
-//!   (E1–E9 plus the figure-verification table); each returns a
-//!   markdown-renderable [`tables::Table`].
+//!   (E1–E11 plus the figure-verification table); each returns a
+//!   markdown-renderable [`tables::Table`].  The pipeline sweeps (E10/E11)
+//!   compile their jobs concurrently through
+//!   `PassManager::run_batch` with a per-job lowering cache.
 //! * [`tables`] — small table-formatting helpers.
 //!
 //! The `experiments` binary prints the full report
 //! (`cargo run --release -p qudit-bench --bin experiments`), and the
-//! Criterion benches in `benches/` measure synthesis and simulation time.
+//! Criterion benches in `benches/` measure synthesis, simulation and batch
+//! compilation time (`benches/batch_compilation.rs` compares sequential,
+//! parallel, cached and parallel+cached compilation of the same sweep).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

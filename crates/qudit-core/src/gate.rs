@@ -212,6 +212,45 @@ impl Gate {
         }
     }
 
+    /// Returns the gate with every qudit id (controls, `AddFrom` source and
+    /// target) replaced through `map`.
+    ///
+    /// Used by the lowering cache to rename a canonical expansion onto the
+    /// actual wires of a lowering site; `map` must be injective over the
+    /// gate's qudits or the result will fail validation when pushed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use qudit_core::{Control, Gate, QuditId, SingleQuditOp};
+    /// let gate = Gate::controlled(
+    ///     SingleQuditOp::Swap(0, 1),
+    ///     QuditId::new(1),
+    ///     vec![Control::zero(QuditId::new(0))],
+    /// );
+    /// let shifted = gate.map_qudits(|q| QuditId::new(q.index() + 3));
+    /// assert_eq!(shifted.target(), QuditId::new(4));
+    /// assert_eq!(shifted.controls()[0].qudit, QuditId::new(3));
+    /// ```
+    pub fn map_qudits(&self, map: impl Fn(QuditId) -> QuditId) -> Gate {
+        let op = match &self.op {
+            GateOp::Single(op) => GateOp::Single(op.clone()),
+            GateOp::AddFrom { source, negate } => GateOp::AddFrom {
+                source: map(*source),
+                negate: *negate,
+            },
+        };
+        Gate {
+            op,
+            target: map(self.target),
+            controls: self
+                .controls
+                .iter()
+                .map(|c| Control::new(map(c.qudit), c.predicate))
+                .collect(),
+        }
+    }
+
     /// Returns `true` when all controls fire for the given basis state.
     ///
     /// `digits[q]` is the level of qudit `q`.

@@ -16,7 +16,13 @@
 //!   elementary G-gate set `{Xij} ∪ {|0⟩-X01}`;
 //! * [`pipeline`] — the [`pipeline::Pass`] trait and
 //!   [`pipeline::PassManager`] composing lowering/optimisation stages with
-//!   per-pass statistics;
+//!   per-pass statistics, plus parallel batch compilation
+//!   ([`pipeline::PassManager::run_batch`]) with merged statistics;
+//! * [`pool`] — a hand-rolled scoped-thread work-stealing pool backing the
+//!   parallel lowering and batch paths (the environment is offline, so no
+//!   `rayon`);
+//! * [`cache`] — the thread-safe lowering cache keyed by
+//!   `(gate kind, dimension, width-class)` with hit/miss accounting;
 //! * [`math`] — minimal complex numbers and dense matrices;
 //! * [`AncillaKind`], [`AncillaUsage`] — ancilla bookkeeping.
 //!
@@ -47,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod ancilla;
+pub mod cache;
 mod circuit;
 mod control;
 pub mod depth;
@@ -59,6 +66,7 @@ pub mod math;
 mod ops;
 pub mod optimize;
 pub mod pipeline;
+pub mod pool;
 mod qudit;
 
 pub use ancilla::{AncillaKind, AncillaUsage};

@@ -17,6 +17,16 @@
 //! Fig. 2 / Fig. 5 gadgets; the semantics-checking `VerifyEquivalence`
 //! wrapper lives in `qudit-sim`, which owns the simulators.
 //!
+//! Passes are `Send + Sync`, and two scaling seams build on that:
+//!
+//! * **Caching** — [`PassManager::with_cache`] hands every pass a
+//!   [`LoweringCache`] through [`PassContext`]; cache-aware passes (the
+//!   lowering passes) record per-run hit/miss counters that surface in
+//!   [`PassStats::cache`].  See [`CacheMode`] for the sharing options.
+//! * **Batching** — [`PassManager::run_batch`] compiles many circuits
+//!   concurrently on a [`WorkStealingPool`] and merges the per-pass
+//!   statistics order-independently into a [`BatchReport`].
+//!
 //! # Example
 //!
 //! ```
@@ -43,21 +53,54 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::cache::{CacheCounters, LoweringCache};
 use crate::circuit::Circuit;
 use crate::depth::circuit_depth;
 use crate::error::{QuditError, Result};
 use crate::lowering;
 use crate::optimize;
+use crate::pool::WorkStealingPool;
 
 /// A named circuit-to-circuit transformation.
 ///
 /// A pass must preserve the semantics of the circuit it transforms (up to
 /// the contract it documents — for example, lowering passes preserve the
 /// action on every basis state).  Passes take the circuit by value so that
-/// identity-like passes can return their input without cloning.
-pub trait Pass {
+/// identity-like passes can return their input without cloning, and are
+/// `Send + Sync` so that one pipeline instance can compile many circuits
+/// concurrently ([`PassManager::run_batch`]).
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::pipeline::{Pass, PassManager};
+/// use qudit_core::{Circuit, Result};
+///
+/// /// Reverses a circuit into its inverse (semantics: the inverse map).
+/// struct Invert;
+///
+/// impl Pass for Invert {
+///     fn name(&self) -> &str {
+///         "invert"
+///     }
+///     fn run(&self, circuit: Circuit) -> Result<Circuit> {
+///         Ok(circuit.inverse())
+///     }
+/// }
+///
+/// # fn main() -> Result<()> {
+/// let d = qudit_core::Dimension::new(3)?;
+/// let report = PassManager::new()
+///     .with_pass(Invert)
+///     .run(Circuit::new(d, 2))?;
+/// assert_eq!(report.stats[0].pass, "invert");
+/// # Ok(())
+/// # }
+/// ```
+pub trait Pass: Send + Sync {
     /// A short, stable, kebab-case name used in statistics and diagnostics.
     fn name(&self) -> &str;
 
@@ -68,6 +111,21 @@ pub trait Pass {
     /// Returns an error when the pass cannot handle the circuit (for
     /// example, lowering a gate with too many controls).
     fn run(&self, circuit: Circuit) -> Result<Circuit>;
+
+    /// Transforms the circuit with access to the run's [`PassContext`]
+    /// (lowering cache, per-run cache counters).
+    ///
+    /// The default implementation ignores the context and calls
+    /// [`Pass::run`]; cache-aware passes override this.  [`PassManager`]
+    /// always calls this entry point.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pass::run`].
+    fn run_with(&self, circuit: Circuit, ctx: &mut PassContext) -> Result<Circuit> {
+        let _ = ctx;
+        self.run(circuit)
+    }
 }
 
 impl Pass for Box<dyn Pass> {
@@ -78,6 +136,95 @@ impl Pass for Box<dyn Pass> {
     fn run(&self, circuit: Circuit) -> Result<Circuit> {
         self.as_ref().run(circuit)
     }
+
+    fn run_with(&self, circuit: Circuit, ctx: &mut PassContext) -> Result<Circuit> {
+        self.as_ref().run_with(circuit, ctx)
+    }
+}
+
+/// Per-pass-execution context handed to [`Pass::run_with`].
+///
+/// Carries the run's optional [`LoweringCache`] and collects the pass's
+/// cache hit/miss tally, which the [`PassManager`] moves into
+/// [`PassStats::cache`].
+#[derive(Debug, Default)]
+pub struct PassContext {
+    cache: Option<Arc<LoweringCache>>,
+    counters: CacheCounters,
+}
+
+impl PassContext {
+    /// A context without a cache (the default for plain [`Pass::run`]).
+    pub fn new() -> Self {
+        PassContext::default()
+    }
+
+    /// A context carrying a lowering cache.
+    pub fn with_cache(cache: Arc<LoweringCache>) -> Self {
+        PassContext {
+            cache: Some(cache),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The run's lowering cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<LoweringCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Adds a cache tally to the pass's counters.
+    pub fn record(&mut self, counters: CacheCounters) {
+        self.counters.merge(counters);
+    }
+
+    /// The cache tally recorded so far.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+/// How a [`PassManager`] provisions the lowering cache for its runs.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::cache::LoweringCache;
+/// use qudit_core::pipeline::{CacheMode, LowerToGGates, PassManager};
+/// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 3);
+/// for target in [1, 2] {
+///     circuit.push(Gate::controlled(
+///         SingleQuditOp::Add(1),
+///         QuditId::new(target),
+///         vec![Control::level(QuditId::new(0), 2)],
+///     ))?;
+/// }
+/// let manager = PassManager::new()
+///     .with_pass(LowerToGGates)
+///     .with_cache(CacheMode::PerRun);
+/// let report = manager.run(circuit)?;
+/// let cache = report.stats[0].cache.expect("caching was enabled");
+/// assert_eq!(cache.hits, 1);
+/// assert_eq!(cache.misses, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub enum CacheMode {
+    /// No caching; [`PassStats::cache`] stays `None`.
+    #[default]
+    Off,
+    /// A fresh cache per [`PassManager::run`] call.  Per-pass counters are
+    /// fully deterministic, and batch jobs do not share entries — the mode
+    /// the experiment tables use.
+    PerRun,
+    /// One caller-provided cache shared by every run (and, in
+    /// [`PassManager::run_batch`], across worker threads).  Maximises reuse;
+    /// per-pass counters depend on which job reaches a key first.
+    Shared(Arc<LoweringCache>),
 }
 
 /// A cheap structural snapshot of a circuit, recorded before and after every
@@ -125,6 +272,10 @@ pub struct PassStats {
     pub after: CircuitProfile,
     /// Wall-clock time the pass took.
     pub elapsed: Duration,
+    /// Lowering-cache hit/miss tally of the pass — `Some` whenever the
+    /// pipeline ran with a [`CacheMode`] other than [`CacheMode::Off`]
+    /// (zero for passes that do not consult the cache), `None` otherwise.
+    pub cache: Option<CacheCounters>,
 }
 
 impl PassStats {
@@ -150,7 +301,17 @@ impl fmt::Display for PassStats {
             self.before.depth,
             self.after.depth,
             self.elapsed.as_secs_f64() * 1e6,
-        )
+        )?;
+        if let Some(cache) = self.cache.filter(|c| c.total() > 0) {
+            write!(
+                f,
+                ", cache {}/{} hits ({:.0}%)",
+                cache.hits,
+                cache.total(),
+                cache.hit_rate() * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -190,23 +351,188 @@ impl fmt::Display for PipelineReport {
     }
 }
 
+/// The result of [`PassManager::run_batch`]: one [`PipelineReport`] per
+/// input circuit, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job reports, in input order.
+    pub reports: Vec<PipelineReport>,
+}
+
+impl BatchReport {
+    /// Number of compiled circuits.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Returns `true` when the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// The compiled circuits, in input order.
+    pub fn circuits(&self) -> impl Iterator<Item = &Circuit> {
+        self.reports.iter().map(|r| &r.circuit)
+    }
+
+    /// Merges the per-job statistics into one [`MergedPassStats`] entry per
+    /// pipeline stage.
+    ///
+    /// Merging only sums per-job values, so the result is independent of the
+    /// order in which jobs finished — sequential and parallel executions of
+    /// the same batch report identical merged gate counts (see
+    /// `merged_stats_are_order_independent` in the crate tests).
+    pub fn merged_stats(&self) -> Vec<MergedPassStats> {
+        let mut merged: Vec<MergedPassStats> = Vec::new();
+        for report in &self.reports {
+            for (position, stats) in report.stats.iter().enumerate() {
+                if merged.len() == position {
+                    merged.push(MergedPassStats {
+                        pass: stats.pass.clone(),
+                        jobs: 0,
+                        gates_before: 0,
+                        gates_after: 0,
+                        g_gates_before: 0,
+                        g_gates_after: 0,
+                        elapsed: Duration::ZERO,
+                        cache: None,
+                    });
+                }
+                let entry = &mut merged[position];
+                debug_assert_eq!(
+                    entry.pass, stats.pass,
+                    "batch jobs must run the same pipeline"
+                );
+                entry.jobs += 1;
+                entry.gates_before += stats.before.gates;
+                entry.gates_after += stats.after.gates;
+                entry.g_gates_before += stats.before.g_gates;
+                entry.g_gates_after += stats.after.g_gates;
+                entry.elapsed += stats.elapsed;
+                if let Some(cache) = stats.cache {
+                    entry
+                        .cache
+                        .get_or_insert_with(CacheCounters::default)
+                        .merge(cache);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Total wall-clock pass time summed over every job (CPU time, not
+    /// elapsed time: concurrent jobs overlap).
+    pub fn total_elapsed(&self) -> Duration {
+        self.reports.iter().map(PipelineReport::total_elapsed).sum()
+    }
+
+    /// The cache tally summed over every job and pass.
+    pub fn cache_counters(&self) -> CacheCounters {
+        let mut total = CacheCounters::default();
+        for merged in self.merged_stats() {
+            if let Some(cache) = merged.cache {
+                total.merge(cache);
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "batch of {} circuits", self.len())?;
+        for merged in self.merged_stats() {
+            writeln!(f, "{merged}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-pass statistics summed over every job of a [`BatchReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedPassStats {
+    /// Name of the pass.
+    pub pass: String,
+    /// Number of jobs the pass ran on.
+    pub jobs: usize,
+    /// Total input gates across jobs.
+    pub gates_before: usize,
+    /// Total output gates across jobs.
+    pub gates_after: usize,
+    /// Total input G-gates across jobs.
+    pub g_gates_before: usize,
+    /// Total output G-gates across jobs.
+    pub g_gates_after: usize,
+    /// Total wall-clock time across jobs.
+    pub elapsed: Duration,
+    /// Summed cache tally (`None` when the batch ran uncached).
+    pub cache: Option<CacheCounters>,
+}
+
+impl fmt::Display for MergedPassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} jobs, gates {} -> {}, {:.1} ms",
+            self.pass,
+            self.jobs,
+            self.gates_before,
+            self.gates_after,
+            self.elapsed.as_secs_f64() * 1e3,
+        )?;
+        if let Some(cache) = self.cache.filter(|c| c.total() > 0) {
+            write!(
+                f,
+                ", cache {}/{} hits ({:.0}%)",
+                cache.hits,
+                cache.total(),
+                cache.hit_rate() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Composes [`Pass`]es into a pipeline and records per-pass statistics.
 ///
 /// Optionally pins the register shape (dimension and width) the pipeline is
 /// built for, rejecting mismatched circuits up front.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::pipeline::{CancelInversePairs, LowerToGGates, PassManager};
+/// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 2);
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Add(2),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+/// let manager = PassManager::new()
+///     .with_pass(LowerToGGates)
+///     .with_pass(CancelInversePairs)
+///     .with_shape(d, 2);
+/// let report = manager.run(circuit)?;
+/// assert_eq!(report.stats.len(), 2);
+/// assert!(report.circuit.gates().iter().all(|g| g.is_g_gate()));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     shape: Option<(crate::dimension::Dimension, usize)>,
+    cache: CacheMode,
 }
 
 impl PassManager {
     /// Creates an empty pipeline.
     pub fn new() -> Self {
-        PassManager {
-            passes: Vec::new(),
-            shape: None,
-        }
+        PassManager::default()
     }
 
     /// Appends a pass (builder style).
@@ -229,6 +555,18 @@ impl PassManager {
         self
     }
 
+    /// Selects how runs provision the lowering cache (see [`CacheMode`]).
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheMode) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The configured cache mode.
+    pub fn cache_mode(&self) -> &CacheMode {
+        &self.cache
+    }
+
     /// Rebuilds the pipeline with every pass transformed by `wrap` — the
     /// hook decorating wrappers (such as `qudit-sim`'s `VerifyEquivalence`)
     /// use to instrument an existing pipeline.
@@ -237,6 +575,7 @@ impl PassManager {
         PassManager {
             passes: self.passes.into_iter().map(wrap).collect(),
             shape: self.shape,
+            cache: self.cache,
         }
     }
 
@@ -274,14 +613,23 @@ impl PassManager {
                 });
             }
         }
+        let cache = match &self.cache {
+            CacheMode::Off => None,
+            CacheMode::PerRun => Some(Arc::new(LoweringCache::new())),
+            CacheMode::Shared(cache) => Some(cache.clone()),
+        };
         let mut current = circuit;
         let mut stats = Vec::with_capacity(self.passes.len());
         // Each pass's input profile is the previous pass's output profile;
         // profile each intermediate circuit only once.
         let mut before = CircuitProfile::of(&current);
         for pass in &self.passes {
+            let mut ctx = match &cache {
+                Some(cache) => PassContext::with_cache(cache.clone()),
+                None => PassContext::new(),
+            };
             let start = Instant::now();
-            current = pass.run(current)?;
+            current = pass.run_with(current, &mut ctx)?;
             let elapsed = start.elapsed();
             let after = CircuitProfile::of(&current);
             stats.push(PassStats {
@@ -289,6 +637,7 @@ impl PassManager {
                 before,
                 after,
                 elapsed,
+                cache: cache.is_some().then(|| ctx.counters()),
             });
             before = after;
         }
@@ -296,6 +645,72 @@ impl PassManager {
             circuit: current,
             stats,
         })
+    }
+
+    /// Compiles many circuits concurrently on a default-sized
+    /// [`WorkStealingPool`], returning one [`PipelineReport`] per circuit
+    /// (in input order) inside a [`BatchReport`].
+    ///
+    /// Every job runs the same pipeline; with [`CacheMode::PerRun`] each job
+    /// gets a private cache (deterministic statistics), while
+    /// [`CacheMode::Shared`] lets concurrent jobs reuse each other's
+    /// lowerings through the `RwLock`-protected shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job error in input order (later jobs still run).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::pipeline::{CacheMode, LowerToGGates, PassManager};
+    /// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let d = Dimension::new(3)?;
+    /// let circuits: Vec<Circuit> = (1..=4)
+    ///     .map(|level| {
+    ///         let mut c = Circuit::new(d, 2);
+    ///         c.push(Gate::controlled(
+    ///             SingleQuditOp::Add(level % 2 + 1),
+    ///             QuditId::new(1),
+    ///             vec![Control::level(QuditId::new(0), 2)],
+    ///         ))?;
+    ///         Ok::<_, qudit_core::QuditError>(c)
+    ///     })
+    ///     .collect::<Result<_, _>>()?;
+    ///
+    /// let manager = PassManager::new()
+    ///     .with_pass(LowerToGGates)
+    ///     .with_cache(CacheMode::PerRun);
+    /// let batch = manager.run_batch(circuits)?;
+    /// assert_eq!(batch.len(), 4);
+    /// let merged = batch.merged_stats();
+    /// assert_eq!(merged[0].pass, "lower-to-g-gates");
+    /// assert_eq!(merged[0].jobs, 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_batch(&self, circuits: Vec<Circuit>) -> Result<BatchReport> {
+        self.run_batch_on(circuits, &WorkStealingPool::new())
+    }
+
+    /// [`PassManager::run_batch`] on a caller-provided pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`PassManager::run_batch`].
+    pub fn run_batch_on(
+        &self,
+        circuits: Vec<Circuit>,
+        pool: &WorkStealingPool,
+    ) -> Result<BatchReport> {
+        let results = pool.map(circuits, |circuit| self.run(circuit));
+        let mut reports = Vec::with_capacity(results.len());
+        for result in results {
+            reports.push(result?);
+        }
+        Ok(BatchReport { reports })
     }
 
     /// Runs the pipeline and returns only the final circuit.
@@ -313,6 +728,7 @@ impl fmt::Debug for PassManager {
         f.debug_struct("PassManager")
             .field("passes", &self.pass_names())
             .field("shape", &self.shape)
+            .field("cache", &self.cache)
             .finish()
     }
 }
@@ -337,6 +753,13 @@ impl Pass for CancelInversePairs {
 ///
 /// Gates with two or more controls make this pass fail; lower them first
 /// with `qudit-synthesis`'s `LowerToElementary` pass.
+///
+/// The pass is cache-aware and parallel: when the run's [`PassContext`]
+/// carries a [`LoweringCache`] each gate kind is expanded once per
+/// `(kind, dimension, width-class)`, and circuits above
+/// [`lowering::PARALLEL_GATE_THRESHOLD`] gates are lowered gate-parallel on
+/// a [`WorkStealingPool`].  Both paths produce exactly the sequential
+/// output.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LowerToGGates;
 
@@ -348,6 +771,61 @@ impl Pass for LowerToGGates {
     fn run(&self, circuit: Circuit) -> Result<Circuit> {
         lowering::lower_circuit(&circuit)
     }
+
+    fn run_with(&self, circuit: Circuit, ctx: &mut PassContext) -> Result<Circuit> {
+        dispatch_lowering_pass(
+            circuit,
+            ctx,
+            lowering::lower_circuit,
+            lowering::lower_circuit_cached,
+            lowering::lower_circuit_parallel,
+        )
+    }
+}
+
+/// The cache/parallel dispatch shared by the lowering passes
+/// (`LowerToGGates` here, `LowerToElementary` in `qudit-synthesis`).
+///
+/// Circuits above [`lowering::PARALLEL_GATE_THRESHOLD`] gates run through
+/// `parallel` on a fresh pool — unless the calling thread is already a pool
+/// worker ([`crate::pool::in_worker`]), where a nested pool per pass would
+/// oversubscribe the machine quadratically.  Otherwise the pass runs
+/// `cached` when the context carries a cache, and `plain` when it does not.
+/// Cache tallies are recorded into the context either way.
+pub fn dispatch_lowering_pass<Plain, Cached, Parallel>(
+    circuit: Circuit,
+    ctx: &mut PassContext,
+    plain: Plain,
+    cached: Cached,
+    parallel: Parallel,
+) -> Result<Circuit>
+where
+    Plain: FnOnce(&Circuit) -> Result<Circuit>,
+    Cached: FnOnce(&Circuit, &LoweringCache, &mut CacheCounters) -> Result<Circuit>,
+    Parallel: FnOnce(
+        &Circuit,
+        Option<&LoweringCache>,
+        &WorkStealingPool,
+    ) -> Result<(Circuit, CacheCounters)>,
+{
+    let cache = ctx.cache().cloned();
+    if circuit.len() >= lowering::PARALLEL_GATE_THRESHOLD && !crate::pool::in_worker() {
+        let pool = WorkStealingPool::new();
+        if pool.threads() > 1 {
+            let (out, counters) = parallel(&circuit, cache.as_deref(), &pool)?;
+            ctx.record(counters);
+            return Ok(out);
+        }
+    }
+    match cache {
+        Some(cache) => {
+            let mut counters = CacheCounters::default();
+            let out = cached(&circuit, &cache, &mut counters)?;
+            ctx.record(counters);
+            Ok(out)
+        }
+        None => plain(&circuit),
+    }
 }
 
 /// An ad-hoc pass built from a closure; see [`pass_fn`].
@@ -356,7 +834,7 @@ pub struct FnPass<F> {
     run: F,
 }
 
-impl<F: Fn(Circuit) -> Result<Circuit>> Pass for FnPass<F> {
+impl<F: Fn(Circuit) -> Result<Circuit> + Send + Sync> Pass for FnPass<F> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -367,7 +845,10 @@ impl<F: Fn(Circuit) -> Result<Circuit>> Pass for FnPass<F> {
 }
 
 /// Wraps a closure as a [`Pass`], for one-off transformations and tests.
-pub fn pass_fn<F: Fn(Circuit) -> Result<Circuit>>(name: impl Into<String>, run: F) -> FnPass<F> {
+pub fn pass_fn<F: Fn(Circuit) -> Result<Circuit> + Send + Sync>(
+    name: impl Into<String>,
+    run: F,
+) -> FnPass<F> {
     FnPass {
         name: name.into(),
         run,
@@ -518,6 +999,129 @@ mod tests {
         assert_eq!(profile.max_controls, 1);
         assert_eq!(profile.active_qudits, 2);
         assert_eq!(profile.g_gates, 0);
+    }
+
+    #[test]
+    fn uncached_runs_report_no_cache_stats() {
+        let report = PassManager::new()
+            .with_pass(LowerToGGates)
+            .run(sample_circuit())
+            .unwrap();
+        assert!(report.stats[0].cache.is_none());
+    }
+
+    #[test]
+    fn per_run_cache_reports_deterministic_counters() {
+        let mut circuit = Circuit::new(dim(3), 3);
+        for target in [1, 2] {
+            circuit
+                .push(Gate::controlled(
+                    SingleQuditOp::Add(1),
+                    QuditId::new(target),
+                    vec![Control::level(QuditId::new(0), 2)],
+                ))
+                .unwrap();
+        }
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_cache(CacheMode::PerRun);
+        let first = manager.run(circuit.clone()).unwrap();
+        let second = manager.run(circuit).unwrap();
+        let counters = first.stats[0].cache.expect("caching enabled");
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+        // A fresh cache per run: the second run repeats the same tally.
+        assert_eq!(second.stats[0].cache, first.stats[0].cache);
+    }
+
+    #[test]
+    fn shared_cache_carries_entries_across_runs() {
+        let cache = crate::cache::LoweringCache::shared();
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_cache(CacheMode::Shared(cache.clone()));
+        manager.run(sample_circuit()).unwrap();
+        let second = manager.run(sample_circuit()).unwrap();
+        let counters = second.stats[0].cache.expect("caching enabled");
+        assert_eq!(counters.misses, 0, "second run must reuse the shared cache");
+        assert!(counters.hits > 0);
+        assert!(cache.counters().hits > 0);
+    }
+
+    #[test]
+    fn cached_runs_produce_the_uncached_circuit() {
+        let plain = PassManager::new()
+            .with_pass(LowerToGGates)
+            .run(sample_circuit())
+            .unwrap();
+        let cached = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_cache(CacheMode::PerRun)
+            .run(sample_circuit())
+            .unwrap();
+        assert_eq!(plain.circuit, cached.circuit);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let circuits: Vec<Circuit> = (0..6).map(|_| sample_circuit()).collect();
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_pass(CancelInversePairs)
+            .with_cache(CacheMode::PerRun);
+        let sequential: Vec<PipelineReport> = circuits
+            .iter()
+            .map(|c| manager.run(c.clone()).unwrap())
+            .collect();
+        let batch = manager
+            .run_batch_on(circuits, &crate::pool::WorkStealingPool::with_threads(4))
+            .unwrap();
+        assert_eq!(batch.len(), sequential.len());
+        for (batch_report, reference) in batch.reports.iter().zip(&sequential) {
+            assert_eq!(batch_report.circuit, reference.circuit);
+            for (a, b) in batch_report.stats.iter().zip(&reference.stats) {
+                assert_eq!(a.pass, b.pass);
+                assert_eq!(a.before, b.before);
+                assert_eq!(a.after, b.after);
+                assert_eq!(a.cache, b.cache);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_stats_are_order_independent() {
+        let circuits: Vec<Circuit> = (0..5).map(|_| sample_circuit()).collect();
+        let manager = PassManager::new()
+            .with_pass(LowerToGGates)
+            .with_pass(CancelInversePairs)
+            .with_cache(CacheMode::PerRun);
+        let batch = manager.run_batch(circuits).unwrap();
+        let merged = batch.merged_stats();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].jobs, 5);
+
+        // Any permutation of the job reports merges to the same statistics.
+        let mut rotated = batch.clone();
+        rotated.reports.rotate_left(2);
+        let mut reversed = batch.clone();
+        reversed.reports.reverse();
+        assert_eq!(rotated.merged_stats(), merged);
+        assert_eq!(reversed.merged_stats(), merged);
+        assert!(batch.cache_counters().total() > 0);
+    }
+
+    #[test]
+    fn run_batch_returns_the_first_error_in_input_order() {
+        let manager = PassManager::new()
+            .with_pass(CancelInversePairs)
+            .with_shape(dim(3), 2);
+        let good = sample_circuit();
+        let bad = Circuit::new(dim(3), 5);
+        let result = manager.run_batch(vec![good, bad]);
+        assert!(matches!(
+            result,
+            Err(QuditError::IncompatibleCircuits { .. })
+        ));
     }
 
     #[test]

@@ -206,3 +206,58 @@ proptest! {
         prop_assert!(circuit_depth(&doubled) <= 2 * depth.max(1));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cache correctness: cached lowering output is gate-for-gate identical
+    /// to uncached lowering across random dimensions and widths, and the
+    /// parallel path (with and without a cache) matches both.  The
+    /// order-independent parallel counters equal the sequential ones.
+    #[test]
+    fn cached_and_parallel_lowering_match_uncached(
+        dimension in any_dimension(),
+        width in 2usize..=6,
+        specs in prop::collection::vec(gate_spec(6, 8), 1..16),
+        threads in 1usize..=4,
+    ) {
+        use qudit_core::cache::{CacheCounters, LoweringCache};
+        use qudit_core::lowering::{lower_circuit_cached, lower_circuit_parallel};
+        use qudit_core::pool::WorkStealingPool;
+
+        // Clamp the specs to the chosen dimension and width.
+        let specs: Vec<GateSpec> = specs
+            .into_iter()
+            .map(|mut s| {
+                s.target %= width;
+                s.control %= width;
+                s.level_a %= dimension.get();
+                s.level_b %= dimension.get();
+                s.shift = 1 + (s.shift % (dimension.get() - 1));
+                s
+            })
+            .collect();
+        let circuit = build_circuit(&specs, dimension, width);
+        let reference = lower_circuit(&circuit).unwrap();
+
+        let cache = LoweringCache::new();
+        let mut counters = CacheCounters::default();
+        let cached = lower_circuit_cached(&circuit, &cache, &mut counters).unwrap();
+        prop_assert_eq!(&cached, &reference);
+        // Every non-G-gate consults the cache exactly once.
+        let lookups = circuit.gates().iter().filter(|g| !g.is_g_gate()).count() as u64;
+        prop_assert_eq!(counters.total(), lookups);
+        prop_assert_eq!(counters.misses, cache.len() as u64);
+
+        let pool = WorkStealingPool::with_threads(threads);
+        let (parallel, no_cache_counters) = lower_circuit_parallel(&circuit, None, &pool).unwrap();
+        prop_assert_eq!(&parallel, &reference);
+        prop_assert_eq!(no_cache_counters, CacheCounters::default());
+
+        let fresh = LoweringCache::new();
+        let (parallel_cached, parallel_counters) =
+            lower_circuit_parallel(&circuit, Some(&fresh), &pool).unwrap();
+        prop_assert_eq!(&parallel_cached, &reference);
+        prop_assert_eq!(parallel_counters, counters);
+    }
+}

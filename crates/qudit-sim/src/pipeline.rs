@@ -15,7 +15,8 @@
 //! wrapped pass and the offending basis state.
 
 use qudit_core::math::MATRIX_TOLERANCE;
-use qudit_core::pipeline::{Pass, PassManager};
+use qudit_core::pipeline::{Pass, PassContext, PassManager};
+use qudit_core::pool::WorkStealingPool;
 use qudit_core::{Circuit, QuditError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +38,9 @@ const MAX_SAMPLED_STATEVECTOR_STATES: usize = 1 << 20;
 const MAX_STATEVECTOR_SAMPLES: usize = 8;
 /// Fixed seed so verification failures are reproducible.
 const SAMPLE_SEED: u64 = 0x5EED_CAFE;
+/// Basis-state count above which the exhaustive classical sweep fans out
+/// over a work-stealing pool (each state checks independently).
+const PARALLEL_VERIFY_THRESHOLD: usize = 1024;
 
 /// A [`Pass`] decorator that checks the wrapped pass preserved the circuit's
 /// semantics.
@@ -123,11 +127,46 @@ impl VerifyEquivalence {
         if before.is_classical() && after.is_classical() {
             if size <= self.max_exhaustive_states {
                 // One sweep over the basis yields the witness directly.
-                for input in crate::basis::all_basis_states(dimension, before.width()) {
-                    if before.apply_to_basis(&input)? != after.apply_to_basis(&input)? {
-                        return Err(self.fail(format!(
-                            "output circuit is not equivalent to its input (basis state {input:?})"
-                        )));
+                // Each state checks independently, so large sweeps fan out
+                // over the pool (never nested inside a batch worker — see
+                // qudit_core::pool); the witness (if any) is the first in
+                // basis order regardless of which worker found it.  Small
+                // sweeps stream the iterator without collecting.
+                let parallel = size >= PARALLEL_VERIFY_THRESHOLD && !qudit_core::pool::in_worker();
+                let pool = parallel.then(WorkStealingPool::new);
+                match pool.filter(|pool| pool.threads() > 1) {
+                    Some(pool) => {
+                        let states: Vec<Vec<u32>> =
+                            crate::basis::all_basis_states(dimension, before.width()).collect();
+                        let chunk_size = states
+                            .len()
+                            .div_ceil(pool.threads().saturating_mul(4))
+                            .max(1);
+                        let chunks: Vec<&[Vec<u32>]> = states.chunks(chunk_size).collect();
+                        let witnesses = pool.map(chunks, |chunk| {
+                            for input in chunk {
+                                if before.apply_to_basis(input)? != after.apply_to_basis(input)? {
+                                    return Ok(Some(input.clone()));
+                                }
+                            }
+                            Ok::<_, QuditError>(None)
+                        });
+                        for witness in witnesses {
+                            if let Some(input) = witness? {
+                                return Err(self.fail(format!(
+                                    "output circuit is not equivalent to its input (basis state {input:?})"
+                                )));
+                            }
+                        }
+                    }
+                    None => {
+                        for input in crate::basis::all_basis_states(dimension, before.width()) {
+                            if before.apply_to_basis(&input)? != after.apply_to_basis(&input)? {
+                                return Err(self.fail(format!(
+                                    "output circuit is not equivalent to its input (basis state {input:?})"
+                                )));
+                            }
+                        }
                     }
                 }
             } else {
@@ -216,6 +255,14 @@ impl Pass for VerifyEquivalence {
 
     fn run(&self, circuit: Circuit) -> Result<Circuit> {
         let output = self.inner.run(circuit.clone())?;
+        self.check_equivalent(&circuit, &output)?;
+        Ok(output)
+    }
+
+    fn run_with(&self, circuit: Circuit, ctx: &mut PassContext) -> Result<Circuit> {
+        // Forward the context so the wrapped pass keeps its cache access
+        // (and its cache statistics) under verification.
+        let output = self.inner.run_with(circuit.clone(), ctx)?;
         self.check_equivalent(&circuit, &output)?;
         Ok(output)
     }

@@ -14,7 +14,7 @@
 //! | Lemma III.5 / Figs. 8–9 (`P_k`) | [`pk`] |
 //! | Theorem III.2 / Fig. 4 (even-d k-Toffoli, one borrowed ancilla) | [`mct_even`] |
 //! | Theorem III.6 / Fig. 10 (odd-d k-Toffoli, ancilla-free) | [`mct_odd`] |
-//! | Fig. 1(b) (`\|0^k⟩-U`, one clean ancilla) | [`controlled_unitary`] |
+//! | Fig. 1(b) (`\|0^k⟩-U`, one clean ancilla) | [`ControlledUnitary`] |
 //!
 //! The public entry points are [`KToffoli`], [`MultiControlledGate`],
 //! [`ControlledUnitary`] and the in-place emitters

@@ -10,9 +10,11 @@
 //!    the Fig. 2 / Fig. 5 gadgets for the two-controlled cases; and then to
 //! 2. **G-gates** — `{Xij} ∪ {|0⟩-X01}` via `qudit_core::lowering`.
 
+use qudit_core::cache::{CacheCounters, CanonicalSite, LoweringCache, LoweringStage, WidthClass};
 use qudit_core::lowering as core_lowering;
+use qudit_core::pool::WorkStealingPool;
 use qudit_core::{
-    Circuit, Control, ControlPredicate, Dimension, Gate, GateOp, QuditId, SingleQuditOp,
+    Circuit, Control, ControlPredicate, Dimension, Gate, GateOp, QuditError, QuditId, SingleQuditOp,
 };
 
 use crate::error::{Result, SynthesisError};
@@ -61,6 +63,114 @@ pub fn lower_to_g_gates(circuit: &Circuit) -> Result<Circuit> {
 /// See [`lower_to_g_gates`].
 pub fn g_gate_count(circuit: &Circuit) -> Result<usize> {
     Ok(lower_to_g_gates(circuit)?.len())
+}
+
+/// [`lower_to_elementary`] through a [`LoweringCache`], tallying hits and
+/// misses into `counters`.
+///
+/// The expensive sites — two-controlled gadget expansions and
+/// value-controlled shifts with an extra control — are canonicalised (wires
+/// renamed to role order, the even-`d` borrowed qudit included as an extra
+/// canonical wire) and shared by `(gate kind, dimension, width-class)`.  The
+/// output is gate-for-gate identical to [`lower_to_elementary`].
+///
+/// # Errors
+///
+/// See [`lower_to_elementary`]; failed lowerings are never cached.
+pub fn lower_to_elementary_cached(
+    circuit: &Circuit,
+    cache: &LoweringCache,
+    counters: &mut CacheCounters,
+) -> Result<Circuit> {
+    let dimension = circuit.dimension();
+    let mut out = Circuit::new(dimension, circuit.width());
+    for gate in circuit.gates() {
+        for lowered in lower_macro_gate_cached(gate, dimension, circuit.width(), cache, counters)? {
+            out.push(lowered).map_err(SynthesisError::from)?;
+        }
+    }
+    Ok(out)
+}
+
+/// [`lower_to_elementary`] with the per-gate work fanned out over `pool`,
+/// optionally through a shared [`LoweringCache`].
+///
+/// Chunks of macro gates lower concurrently and are concatenated in gate
+/// order, so the output circuit is identical to the sequential path.  As in
+/// [`qudit_core::lowering::lower_circuit_parallel`], the returned counters
+/// derive the miss count from the distinct entries added to the cache, which
+/// keeps them order-independent.
+///
+/// # Errors
+///
+/// Returns the first per-gate error in gate order.
+pub fn lower_to_elementary_parallel(
+    circuit: &Circuit,
+    cache: Option<&LoweringCache>,
+    pool: &WorkStealingPool,
+) -> Result<(Circuit, CacheCounters)> {
+    let dimension = circuit.dimension();
+    let width = circuit.width();
+    let (gates, counters) =
+        core_lowering::lower_gates_chunked(circuit.gates(), cache, pool, |gate, counters| {
+            match cache {
+                Some(cache) => lower_macro_gate_cached(gate, dimension, width, cache, counters),
+                None => lower_macro_gate(gate, dimension, width),
+            }
+        })?;
+    let mut out = Circuit::new(dimension, width);
+    out.extend_gates(gates).map_err(SynthesisError::from)?;
+    Ok((out, counters))
+}
+
+/// [`lower_macro_gate`] through the cache.
+///
+/// Only the gadget-expanding cases are cached; everything else (gates that
+/// are already elementary, or error cases) takes the direct path.  For even
+/// `d` the borrowed qudit is resolved *before* canonicalisation so the
+/// cached expansion can be renamed onto it; when no spare wire exists the
+/// direct path reports the usual error.
+fn lower_macro_gate_cached(
+    gate: &Gate,
+    dimension: Dimension,
+    width: usize,
+    cache: &LoweringCache,
+    counters: &mut CacheCounters,
+) -> Result<Vec<Gate>> {
+    let cacheable = matches!(
+        (gate.controls().len(), gate.op()),
+        (2, GateOp::Single(_)) | (1, GateOp::AddFrom { .. })
+    );
+    if !cacheable {
+        return lower_macro_gate(gate, dimension, width);
+    }
+    let mut extra = Vec::new();
+    if dimension.is_even() {
+        match pick_borrowed(width, &gate.qudits()) {
+            Some(borrowed) => extra.push(borrowed),
+            None => return lower_macro_gate(gate, dimension, width),
+        }
+    }
+    let Some(site) = CanonicalSite::of(
+        LoweringStage::Elementary,
+        gate,
+        dimension,
+        WidthClass::of(width),
+        &extra,
+    ) else {
+        return lower_macro_gate(gate, dimension, width);
+    };
+    let canonical = cache
+        .get_or_insert_with(site.key(), counters, || {
+            lower_macro_gate(site.gate(), dimension, site.width()).map_err(|e| match e {
+                SynthesisError::Core(core) => core,
+                other => QuditError::UnsupportedLowering {
+                    reason: other.to_string(),
+                },
+            })
+        })
+        .map_err(SynthesisError::from)?;
+    Ok(site.restore(&canonical))
 }
 
 fn lower_macro_gate(gate: &Gate, dimension: Dimension, width: usize) -> Result<Vec<Gate>> {

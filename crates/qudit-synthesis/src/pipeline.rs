@@ -21,7 +21,10 @@
 //!   [`qudit_sim::pipeline::VerifyEquivalence`], so each stage self-checks
 //!   semantics preservation.
 
-use qudit_core::pipeline::{CancelInversePairs, LowerToGGates, Pass, PassManager};
+use qudit_core::pipeline::{
+    dispatch_lowering_pass, CacheMode, CancelInversePairs, LowerToGGates, Pass, PassContext,
+    PassManager,
+};
 use qudit_core::{Circuit, Dimension, QuditError};
 use qudit_sim::pipeline::VerifyEquivalence;
 
@@ -42,6 +45,12 @@ fn pass_error(pass: &str, error: SynthesisError) -> QuditError {
 /// Pass lowering macro gates (two controls, value-controlled shifts) to
 /// elementary gates with at most one control
 /// (wraps [`crate::lower::lower_to_elementary`]).
+///
+/// Like `LowerToGGates`, the pass is cache-aware and parallel: with a
+/// lowering cache in the run's [`PassContext`] every gadget expansion is
+/// computed once per `(gate kind, dimension, width-class)`, and macro
+/// circuits above the parallel threshold lower gate-parallel on a
+/// work-stealing pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LowerToElementary;
 
@@ -52,6 +61,22 @@ impl Pass for LowerToElementary {
 
     fn run(&self, circuit: Circuit) -> qudit_core::Result<Circuit> {
         lower::lower_to_elementary(&circuit).map_err(|e| pass_error(self.name(), e))
+    }
+
+    fn run_with(&self, circuit: Circuit, ctx: &mut PassContext) -> qudit_core::Result<Circuit> {
+        let name = self.name();
+        dispatch_lowering_pass(
+            circuit,
+            ctx,
+            |c| lower::lower_to_elementary(c).map_err(|e| pass_error(name, e)),
+            |c, cache, counters| {
+                lower::lower_to_elementary_cached(c, cache, counters)
+                    .map_err(|e| pass_error(name, e))
+            },
+            |c, cache, pool| {
+                lower::lower_to_elementary_parallel(c, cache, pool).map_err(|e| pass_error(name, e))
+            },
+        )
     }
 }
 
@@ -109,6 +134,43 @@ impl Pipeline {
     /// [`VerifyEquivalence`].
     pub fn lowering_verified(dimension: Dimension, width: usize) -> PassManager {
         VerifyEquivalence::wrap_manager(Self::lowering(dimension, width))
+    }
+
+    /// The standard flow configured for batch compilation: shape-agnostic
+    /// (one manager compiles circuits of any dimension and width, as the
+    /// experiment sweeps need) and with a per-run lowering cache, so every
+    /// job reports deterministic cache hit/miss statistics.
+    ///
+    /// Run it with `run_batch` / `run_batch_on` to compile the jobs
+    /// concurrently:
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::pool::WorkStealingPool;
+    /// use qudit_synthesis::{KToffoli, Pipeline};
+    /// use qudit_core::Dimension;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // One batch across different dimensions and widths.
+    /// let mut jobs = Vec::new();
+    /// for (d, k) in [(3u32, 4usize), (4, 3), (5, 2)] {
+    ///     let synthesis = KToffoli::new(Dimension::new(d)?, k)?.synthesize()?;
+    ///     jobs.push(synthesis.circuit().clone());
+    /// }
+    /// let batch = Pipeline::standard_batch().run_batch_on(jobs, &WorkStealingPool::with_threads(2))?;
+    /// assert_eq!(batch.len(), 3);
+    /// // The lowering stages hit the cache within every job.
+    /// assert!(batch.cache_counters().hits > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn standard_batch() -> PassManager {
+        PassManager::new()
+            .with_pass(LowerToElementary)
+            .with_pass(LowerToGGates)
+            .with_pass(CancelInversePairs)
+            .with_cache(CacheMode::PerRun)
     }
 }
 

@@ -119,3 +119,75 @@ proptest! {
         prop_assert!(diff == 0 || diff == 1);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cache correctness for the macro-gate stage: cached (and parallel)
+    /// elementary lowering of the synthesised macro circuits is
+    /// gate-for-gate identical to the uncached path, across random
+    /// dimensions and control counts (which vary the register width).
+    #[test]
+    fn cached_macro_lowering_matches_uncached(
+        dimension in any_dimension(),
+        k in 2usize..=6,
+        threads in 1usize..=4,
+    ) {
+        use qudit_core::cache::{CacheCounters, LoweringCache};
+        use qudit_core::pool::WorkStealingPool;
+        use qudit_synthesis::lower::{
+            lower_to_elementary, lower_to_elementary_cached, lower_to_elementary_parallel,
+        };
+
+        let circuit = KToffoli::new(dimension, k)
+            .unwrap()
+            .synthesize()
+            .unwrap()
+            .circuit()
+            .clone();
+        let reference = lower_to_elementary(&circuit).unwrap();
+
+        let cache = LoweringCache::new();
+        let mut counters = CacheCounters::default();
+        let cached = lower_to_elementary_cached(&circuit, &cache, &mut counters).unwrap();
+        prop_assert_eq!(&cached, &reference);
+        prop_assert!(counters.total() > 0, "macro lowering made no cache lookups");
+        prop_assert_eq!(counters.misses, cache.len() as u64);
+
+        let pool = WorkStealingPool::with_threads(threads);
+        let fresh = LoweringCache::new();
+        let (parallel, parallel_counters) =
+            lower_to_elementary_parallel(&circuit, Some(&fresh), &pool).unwrap();
+        prop_assert_eq!(&parallel, &reference);
+        prop_assert_eq!(parallel_counters, counters);
+
+        let (uncached_parallel, _) = lower_to_elementary_parallel(&circuit, None, &pool).unwrap();
+        prop_assert_eq!(&uncached_parallel, &reference);
+    }
+}
+
+/// The constructions repeat the same conjugated gadgets many times per
+/// sweep, so a realistically sized k-Toffoli must hit the cache.
+#[test]
+fn large_k_toffoli_macro_lowering_hits_the_cache() {
+    use qudit_core::cache::{CacheCounters, LoweringCache};
+    use qudit_synthesis::lower::{lower_to_elementary, lower_to_elementary_cached};
+
+    for d in [3u32, 4] {
+        let dimension = Dimension::new(d).unwrap();
+        let circuit = KToffoli::new(dimension, 8)
+            .unwrap()
+            .synthesize()
+            .unwrap()
+            .circuit()
+            .clone();
+        let cache = LoweringCache::new();
+        let mut counters = CacheCounters::default();
+        let cached = lower_to_elementary_cached(&circuit, &cache, &mut counters).unwrap();
+        assert_eq!(cached, lower_to_elementary(&circuit).unwrap());
+        assert!(
+            counters.hits > 0,
+            "expected cache hits for d={d}, got {counters:?}"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! Fig. 11) so that it becomes an `(n−1)`-controlled single-qudit unitary,
 //! which is then synthesised with the Fig. 1(b) construction using the single
 //! clean ancilla.  The paper's contribution is exactly this last step: the
-//! prior-work synthesis [5] needed `⌈(n−2)/(d−2)⌉` clean ancillas, the
+//! prior-work synthesis (ref. 5) needed `⌈(n−2)/(d−2)⌉` clean ancillas, the
 //! multi-controlled gates of Section III reduce that to one.
 
 use qudit_core::math::SquareMatrix;

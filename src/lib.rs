@@ -25,6 +25,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use qudit_baselines;
 pub use qudit_core;
 pub use qudit_reversible;
