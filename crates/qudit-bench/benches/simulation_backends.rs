@@ -1,0 +1,143 @@
+//! Criterion bench: the dense vs. sparse vs. auto simulation backends on
+//! E10/E11-style workloads.
+//!
+//! The workloads are the compiled k-Toffoli circuits of the experiment
+//! sweeps:
+//!
+//! * **pure classical** (E10-style) — the fully lowered and peephole-
+//!   optimised G-gate circuits.  A basis input stays at a single nonzero
+//!   amplitude, so the sparse engine applies every gate in `O(1)` while the
+//!   dense engine walks all `d^width` amplitudes per gate; the gap widens
+//!   exponentially with the register width.
+//! * **classical prefix + non-classical suffix** (the `VerifyEquivalence`
+//!   situation) — the same circuit with one trailing single-qudit unitary.
+//!   The hybrid engine walks the prefix sparsely and densifies only for the
+//!   final mix.
+//!
+//! All backends return bit-identical states; the bench asserts agreement on
+//! the final norm so a silently wrong fast path cannot post a good number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_core::math::{Complex, SquareMatrix};
+use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+use qudit_sim::{simulate_basis, SimBackend, StateVector};
+use qudit_synthesis::{KToffoli, Pipeline};
+
+/// The compiled (pure classical) G-gate circuit of a `(d=3, k)` k-Toffoli,
+/// E10-style: lowered through the standard flow including cancellation.
+fn classical_job(k: usize) -> Circuit {
+    let dimension = Dimension::new(3).unwrap();
+    let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
+    let width = synthesis.layout().width;
+    Pipeline::standard(dimension, width)
+        .run_circuit(synthesis.circuit().clone())
+        .unwrap()
+}
+
+/// A qutrit Fourier matrix — the non-classical suffix of the mixed workload.
+fn fourier3() -> SquareMatrix {
+    let omega = Complex::from_phase(2.0 * std::f64::consts::PI / 3.0);
+    let s = 1.0 / 3.0f64.sqrt();
+    let mut entries = Vec::new();
+    for r in 0..3u32 {
+        for c in 0..3u32 {
+            let mut w = Complex::ONE;
+            for _ in 0..(r * c) {
+                w *= omega;
+            }
+            entries.push(w.scale(s));
+        }
+    }
+    SquareMatrix::from_rows(3, entries).unwrap()
+}
+
+fn bench_pure_classical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_backends/classical");
+    group.sample_size(10);
+    for &k in &[4usize, 6, 8, 10] {
+        let circuit = classical_job(k);
+        let width = circuit.width();
+        let zeros = vec![0u32; width];
+        // Cross-check once: all backends agree exactly.
+        let dense = simulate_basis(&circuit, &zeros, SimBackend::Dense).unwrap();
+        let sparse = simulate_basis(&circuit, &zeros, SimBackend::Sparse).unwrap();
+        assert_eq!(dense, sparse, "backends must agree (k = {k})");
+
+        for backend in [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.label(), format!("k{k}_w{width}")),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        simulate_basis(circuit, &zeros, backend)
+                            .unwrap()
+                            .probability(&zeros)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_classical_prefix_with_unitary_suffix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_backends/prefix");
+    group.sample_size(10);
+    for &k in &[4usize, 6, 8] {
+        let mut circuit = classical_job(k);
+        let width = circuit.width();
+        circuit
+            .push(Gate::single(
+                SingleQuditOp::Unitary(fourier3()),
+                QuditId::new(width - 1),
+            ))
+            .unwrap();
+        let zeros = vec![0u32; width];
+        let dense = simulate_basis(&circuit, &zeros, SimBackend::Dense).unwrap();
+        let auto = simulate_basis(&circuit, &zeros, SimBackend::Auto).unwrap();
+        assert_eq!(dense, auto, "hybrid must be bit-identical (k = {k})");
+
+        for backend in [SimBackend::Dense, SimBackend::Auto] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.label(), format!("k{k}_w{width}")),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| simulate_basis(circuit, &zeros, backend).unwrap().norm_sqr())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dense_engine_reference(c: &mut Criterion) {
+    // The raw dense engine without the backend dispatch, as a sanity
+    // reference for the dispatch overhead.
+    let mut group = c.benchmark_group("simulation_backends/dense_reference");
+    group.sample_size(10);
+    for &k in &[4usize, 6] {
+        let circuit = classical_job(k);
+        let dimension = circuit.dimension();
+        let width = circuit.width();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_w{width}")),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut state = StateVector::new(dimension, width);
+                    state.apply_circuit(circuit).unwrap();
+                    state.norm_sqr()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pure_classical,
+    bench_classical_prefix_with_unitary_suffix,
+    bench_dense_engine_reference
+);
+criterion_main!(benches);

@@ -10,8 +10,11 @@ use qudit_baselines::{
 };
 use qudit_core::{Dimension, QuditId, SingleQuditOp};
 use qudit_reversible::{lower_bound, ReversibleFunction, ReversibleSynthesizer};
-use qudit_sim::equivalence::{verify_mct_exhaustive, MctSpec};
+use qudit_sim::equivalence::{
+    verify_mct_exhaustive, verify_mct_exhaustive_with, verify_mct_sampled_with, MctSpec,
+};
 use qudit_sim::random::random_unitary;
+use qudit_sim::SimBackend;
 use qudit_synthesis::{
     gadgets, ladders, ControlledUnitary, KToffoli, MultiControlledGate, Pipeline,
 };
@@ -288,6 +291,7 @@ pub fn e10_table_from_reports(
             "G-gates",
             "after cancellation",
             "removed %",
+            "sim backend",
             "verified",
         ],
     );
@@ -297,18 +301,22 @@ pub fn e10_table_from_reports(
             .expect("standard pipeline ends with cancellation");
         let (g_gates, optimized_gates) = (cancel.before.gates, cancel.after.gates);
         // Verify that the optimised circuit still implements the Toffoli
-        // (sampled for larger registers, exhaustive for small ones).
+        // (sampled for larger registers, exhaustive for small ones), routed
+        // through the Auto simulation backend: the optimised circuits are
+        // fully classical, so Auto resolves to the sparse engine and every
+        // checked input stays at one nonzero amplitude.
         let spec = MctSpec::toffoli(
             synthesis.layout().controls.clone(),
             synthesis.layout().target,
         );
+        let backend = SimBackend::Auto.resolve(&report.circuit);
         let verified = if dim(d).register_size(synthesis.layout().width) <= 4096 {
-            verify_mct_exhaustive(&report.circuit, &spec)
+            verify_mct_exhaustive_with(&report.circuit, &spec, backend)
                 .unwrap()
                 .is_pass()
         } else {
             let mut rng = StdRng::seed_from_u64(5);
-            qudit_sim::equivalence::verify_mct_sampled(&report.circuit, &spec, 100, &mut rng)
+            verify_mct_sampled_with(&report.circuit, &spec, 100, &mut rng, backend)
                 .unwrap()
                 .is_pass()
         };
@@ -319,6 +327,7 @@ pub fn e10_table_from_reports(
             g_gates.to_string(),
             optimized_gates.to_string(),
             fmt_f64(100.0 * removed as f64 / g_gates as f64),
+            backend.label().to_string(),
             verified.to_string(),
         ]);
     }
@@ -371,10 +380,15 @@ pub fn e11_table_from_reports(
             "depth out",
             "cache hits",
             "cache hit %",
+            "sim backend",
             "elapsed µs",
         ],
     );
     for (&(d, k), report) in sweep.iter().zip(reports) {
+        // The backend the Auto classicality scan picks for this job's
+        // compiled circuit — what any downstream re-simulation (fidelity
+        // checks, `VerifyEquivalence`) of the sweep would run on.
+        let backend = SimBackend::Auto.resolve(&report.circuit);
         for stats in &report.stats {
             let (cache_hits, cache_rate) = match stats.cache {
                 Some(cache) if cache.total() > 0 => {
@@ -393,6 +407,7 @@ pub fn e11_table_from_reports(
                 stats.after.depth.to_string(),
                 cache_hits,
                 cache_rate,
+                backend.label().to_string(),
                 fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
             ]);
         }

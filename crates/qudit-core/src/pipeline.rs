@@ -735,6 +735,13 @@ impl fmt::Debug for PassManager {
 
 /// Pass removing adjacent gate/inverse pairs
 /// (wraps [`crate::optimize::cancel_inverse_pairs`]).
+///
+/// The pass is parallel: circuits longer than
+/// [`optimize::CANCEL_WINDOW_SIZE`] gates are reduced window-by-window on a
+/// [`WorkStealingPool`] ([`optimize::cancel_inverse_pairs_on`]) — unless the
+/// calling thread is already a pool worker, where the sequential reduction
+/// avoids nested pools.  The windowed reduction is deterministic in the
+/// circuit alone, so every execution mode produces the identical circuit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CancelInversePairs;
 
@@ -744,6 +751,12 @@ impl Pass for CancelInversePairs {
     }
 
     fn run(&self, circuit: Circuit) -> Result<Circuit> {
+        if circuit.len() > optimize::CANCEL_WINDOW_SIZE && !crate::pool::in_worker() {
+            let pool = WorkStealingPool::new();
+            if pool.threads() > 1 {
+                return Ok(optimize::cancel_inverse_pairs_on(&circuit, &pool));
+            }
+        }
         Ok(optimize::cancel_inverse_pairs(&circuit))
     }
 }

@@ -10,6 +10,7 @@ use qudit_core::{Circuit, Dimension, QuditId, Result, SingleQuditOp};
 use rand::Rng;
 
 use crate::basis::{all_basis_states, index_to_digits};
+use crate::sparse::{circuit_unitary_with, SimBackend, SimState};
 use crate::statevector::circuit_unitary;
 
 /// Specification of a multi-controlled gate `|0^k⟩-op`.
@@ -79,20 +80,24 @@ impl Verification {
     }
 }
 
-/// Exhaustively verifies that a classical circuit implements an [`MctSpec`]
-/// with borrowed-ancilla semantics (every non-target qudit restored).
-///
-/// # Errors
-///
-/// Returns an error when the circuit is non-classical or the specification
-/// refers to qudits outside the circuit.
-pub fn verify_mct_exhaustive(circuit: &Circuit, spec: &MctSpec) -> Result<Verification> {
-    let dimension = circuit.dimension();
+/// The shared verification loop: for every generated input, compares the
+/// spec's expected output against `actual_of(input, expected)`, which
+/// returns the observed output digits on a mismatch and `None` on
+/// agreement.
+fn run_verification<I, F>(
+    dimension: Dimension,
+    spec: &MctSpec,
+    inputs: I,
+    mut actual_of: F,
+) -> Result<Verification>
+where
+    I: IntoIterator<Item = Vec<u32>>,
+    F: FnMut(&[u32], &[u32]) -> Result<Option<Vec<u32>>>,
+{
     let mut checked = 0usize;
-    for input in all_basis_states(dimension, circuit.width()) {
+    for input in inputs {
         let expected = spec.expected_output(&input, dimension)?;
-        let actual = circuit.apply_to_basis(&input)?;
-        if actual != expected {
+        if let Some(actual) = actual_of(&input, &expected)? {
             return Ok(Verification::Fail {
                 input,
                 expected,
@@ -104,6 +109,78 @@ pub fn verify_mct_exhaustive(circuit: &Circuit, spec: &MctSpec) -> Result<Verifi
     Ok(Verification::Pass {
         inputs_checked: checked,
     })
+}
+
+/// The direct (basis-propagation) checker used by the classical verifiers.
+fn direct_checker(
+    circuit: &Circuit,
+) -> impl FnMut(&[u32], &[u32]) -> Result<Option<Vec<u32>>> + '_ {
+    move |input, expected| {
+        let actual = circuit.apply_to_basis(input)?;
+        Ok((actual != expected).then_some(actual))
+    }
+}
+
+/// The engine-routed checker used by the `_with` verifiers: simulates each
+/// input on the resolved backend and reads the verdict off the final state
+/// *without densifying it* — on the sparse engine a classical circuit keeps
+/// each input at a single nonzero amplitude, so memory stays `O(1)` per
+/// input regardless of the register size.
+fn engine_checker(
+    circuit: &Circuit,
+    backend: SimBackend,
+) -> impl FnMut(&[u32], &[u32]) -> Result<Option<Vec<u32>>> + '_ {
+    let resolved = backend.resolve(circuit);
+    move |input, expected| {
+        let mut state = SimState::from_basis(circuit.dimension(), input, resolved)?;
+        state.apply_circuit(circuit)?;
+        if state.probability(expected) < 1.0 - 1e-9 {
+            Ok(Some(state.dominant_basis_state()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// The random basis states the sampled verifiers check: uniform draws, with
+/// every other sample biased onto all-zero controls so the "fire" branch is
+/// exercised even for large k.
+fn sampled_inputs<'a, R: Rng>(
+    dimension: Dimension,
+    width: usize,
+    spec: &MctSpec,
+    samples: usize,
+    rng: &'a mut R,
+) -> impl Iterator<Item = Vec<u32>> + 'a {
+    let spec_controls: Vec<qudit_core::Control> = spec
+        .controls
+        .iter()
+        .map(|&q| qudit_core::Control::zero(q))
+        .collect();
+    (0..samples).map(move |sample| {
+        let mut input = crate::sampling::uniform_basis_state(dimension, width, rng);
+        if sample % 2 == 0 {
+            crate::sampling::force_controls_matching(&mut input, &spec_controls, dimension, rng);
+        }
+        input
+    })
+}
+
+/// Exhaustively verifies that a classical circuit implements an [`MctSpec`]
+/// with borrowed-ancilla semantics (every non-target qudit restored).
+///
+/// # Errors
+///
+/// Returns an error when the circuit is non-classical or the specification
+/// refers to qudits outside the circuit.
+pub fn verify_mct_exhaustive(circuit: &Circuit, spec: &MctSpec) -> Result<Verification> {
+    let dimension = circuit.dimension();
+    run_verification(
+        dimension,
+        spec,
+        all_basis_states(dimension, circuit.width()),
+        direct_checker(circuit),
+    )
 }
 
 /// Verifies an [`MctSpec`] on `samples` uniformly random basis states.
@@ -121,34 +198,9 @@ pub fn verify_mct_sampled<R: Rng>(
     rng: &mut R,
 ) -> Result<Verification> {
     let dimension = circuit.dimension();
-    let width = circuit.width();
-    let spec_controls: Vec<qudit_core::Control> = spec
-        .controls
-        .iter()
-        .map(|&q| qudit_core::Control::zero(q))
-        .collect();
-    let mut checked = 0usize;
-    for sample in 0..samples {
-        // Bias half of the samples towards all-zero controls so that the
-        // "fire" branch is exercised even for large k.
-        let mut input = crate::sampling::uniform_basis_state(dimension, width, rng);
-        if sample % 2 == 0 {
-            crate::sampling::force_controls_matching(&mut input, &spec_controls, dimension, rng);
-        }
-        let expected = spec.expected_output(&input, dimension)?;
-        let actual = circuit.apply_to_basis(&input)?;
-        if actual != expected {
-            return Ok(Verification::Fail {
-                input,
-                expected,
-                actual,
-            });
-        }
-        checked += 1;
-    }
-    Ok(Verification::Pass {
-        inputs_checked: checked,
-    })
+    let inputs: Vec<Vec<u32>> =
+        sampled_inputs(dimension, circuit.width(), spec, samples, rng).collect();
+    run_verification(dimension, spec, inputs, direct_checker(circuit))
 }
 
 /// Exhaustively verifies a circuit that uses one clean ancilla: only inputs
@@ -165,25 +217,59 @@ pub fn verify_mct_with_clean_ancilla(
     clean: QuditId,
 ) -> Result<Verification> {
     let dimension = circuit.dimension();
-    let mut checked = 0usize;
-    for input in all_basis_states(dimension, circuit.width()) {
-        if input[clean.index()] != 0 {
-            continue;
-        }
-        let expected = spec.expected_output(&input, dimension)?;
-        let actual = circuit.apply_to_basis(&input)?;
-        if actual != expected {
-            return Ok(Verification::Fail {
-                input,
-                expected,
-                actual,
-            });
-        }
-        checked += 1;
-    }
-    Ok(Verification::Pass {
-        inputs_checked: checked,
-    })
+    run_verification(
+        dimension,
+        spec,
+        all_basis_states(dimension, circuit.width()).filter(|input| input[clean.index()] == 0),
+        direct_checker(circuit),
+    )
+}
+
+/// [`verify_mct_exhaustive`], but every input is simulated through the
+/// engine the [`SimBackend`] picks (`Auto` resolves via the classicality
+/// scan) instead of the direct basis-state propagator.
+///
+/// For the classical circuits the synthesis emits, the sparse engine keeps
+/// every input at a single nonzero amplitude, so the sweep stays `O(gates)`
+/// time and `O(1)` memory per input while exercising the exact simulation
+/// path the pipeline's checks use.
+///
+/// # Errors
+///
+/// Returns an error when the specification is non-classical or refers to
+/// qudits outside the circuit.
+pub fn verify_mct_exhaustive_with(
+    circuit: &Circuit,
+    spec: &MctSpec,
+    backend: SimBackend,
+) -> Result<Verification> {
+    let dimension = circuit.dimension();
+    run_verification(
+        dimension,
+        spec,
+        all_basis_states(dimension, circuit.width()),
+        engine_checker(circuit, backend),
+    )
+}
+
+/// [`verify_mct_sampled`], but routed through the [`SimBackend`]-selected
+/// engine like [`verify_mct_exhaustive_with`].
+///
+/// # Errors
+///
+/// Returns an error when the specification is non-classical or refers to
+/// qudits outside the circuit.
+pub fn verify_mct_sampled_with<R: Rng>(
+    circuit: &Circuit,
+    spec: &MctSpec,
+    samples: usize,
+    rng: &mut R,
+    backend: SimBackend,
+) -> Result<Verification> {
+    let dimension = circuit.dimension();
+    let inputs: Vec<Vec<u32>> =
+        sampled_inputs(dimension, circuit.width(), spec, samples, rng).collect();
+    run_verification(dimension, spec, inputs, engine_checker(circuit, backend))
 }
 
 /// Builds the ideal unitary of a multi-controlled single-qudit gate
@@ -234,12 +320,30 @@ pub fn verify_mct_unitary(circuit: &Circuit, spec: &MctSpec) -> Result<bool> {
 
 /// Checks that two circuits implement the same unitary up to global phase.
 ///
+/// Simulation runs on the [`Auto`](SimBackend::Auto) backend: each circuit's
+/// classical prefix is walked sparsely (see
+/// [`circuit_unitary`](crate::circuit_unitary())).  Use
+/// [`circuits_equal_up_to_phase_with`] to force a backend.
+///
 /// # Errors
 ///
 /// Returns an error when either circuit cannot be simulated.
 pub fn circuits_equal_up_to_phase(a: &Circuit, b: &Circuit) -> Result<bool> {
-    let ua = circuit_unitary(a)?;
-    let ub = circuit_unitary(b)?;
+    circuits_equal_up_to_phase_with(a, b, SimBackend::Auto)
+}
+
+/// [`circuits_equal_up_to_phase`] on an explicit simulation backend.
+///
+/// # Errors
+///
+/// Returns an error when either circuit cannot be simulated.
+pub fn circuits_equal_up_to_phase_with(
+    a: &Circuit,
+    b: &Circuit,
+    backend: SimBackend,
+) -> Result<bool> {
+    let ua = circuit_unitary_with(a, backend)?;
+    let ub = circuit_unitary_with(b, backend)?;
     Ok(ua.approx_eq_up_to_phase(&ub, MATRIX_TOLERANCE.max(1e-7)))
 }
 
@@ -361,5 +465,57 @@ mod tests {
         let a = macro_toffoli(d, 2);
         let b = macro_toffoli(d, 2);
         assert!(circuits_equal_up_to_phase(&a, &b).unwrap());
+        for backend in [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto] {
+            assert!(circuits_equal_up_to_phase_with(&a, &b, backend).unwrap());
+        }
+    }
+
+    #[test]
+    fn engine_routed_sampling_never_densifies_classical_circuits() {
+        // Width 30 over qutrits: 3^30 ≈ 2·10^14 basis states — any code
+        // path that densifies the state would attempt a petabyte-scale
+        // allocation.  The sparse engine must verify samples in O(1) memory.
+        let d = dim(3);
+        let k = 29;
+        let circuit = macro_toffoli(d, k);
+        let spec = MctSpec::toffoli((0..k).map(QuditId::new).collect(), QuditId::new(k));
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(
+            verify_mct_sampled_with(&circuit, &spec, 16, &mut rng, SimBackend::Auto)
+                .unwrap()
+                .is_pass()
+        );
+    }
+
+    #[test]
+    fn backend_routed_verification_agrees_with_the_direct_sweep() {
+        let d = dim(3);
+        let circuit = macro_toffoli(d, 2);
+        let spec = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(1)], QuditId::new(2));
+        for backend in [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto] {
+            assert!(
+                verify_mct_exhaustive_with(&circuit, &spec, backend)
+                    .unwrap()
+                    .is_pass(),
+                "backend {backend}"
+            );
+        }
+        // A wrong spec fails with a concrete witness on every backend.
+        let wrong = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(2)], QuditId::new(1));
+        for backend in [SimBackend::Dense, SimBackend::Sparse] {
+            let verdict = verify_mct_exhaustive_with(&circuit, &wrong, backend).unwrap();
+            match verdict {
+                Verification::Fail {
+                    expected, actual, ..
+                } => assert_ne!(expected, actual),
+                other => panic!("expected a failure, got {other:?}"),
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(
+            verify_mct_sampled_with(&circuit, &spec, 32, &mut rng, SimBackend::Auto)
+                .unwrap()
+                .is_pass()
+        );
     }
 }

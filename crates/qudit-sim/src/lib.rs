@@ -9,6 +9,11 @@
 //!   algorithms, plus full permutation-table extraction;
 //! * [`StateVector`] and [`statevector`] — state-vector simulation supporting
 //!   arbitrary controlled unitaries;
+//! * [`SparseState`], [`SimState`] and [`sparse`] — the sparse amplitude-map
+//!   engine with a classical-gate fast path in `O(nnz)`, the hybrid
+//!   sparse-then-dense engine behind it, and the [`SimBackend`] dispatch
+//!   (`Dense | Sparse | Auto`) that picks an engine per circuit via a
+//!   classicality scan;
 //! * [`equivalence`] — specification checkers for multi-controlled gates with
 //!   borrowed- or clean-ancilla semantics, and unitary equivalence up to
 //!   global phase;
@@ -46,9 +51,13 @@ pub mod permutation_sim;
 pub mod pipeline;
 pub mod random;
 mod sampling;
+pub mod sparse;
 pub mod statevector;
 
 pub use equivalence::{MctSpec, Verification};
 pub use permutation_sim::{circuit_permutation, classical_circuits_equal, PermutationSimulator};
 pub use pipeline::VerifyEquivalence;
+pub use sparse::{
+    circuit_unitary_with, classical_prefix_len, simulate_basis, SimBackend, SimState, SparseState,
+};
 pub use statevector::{circuit_unitary, StateVector};

@@ -13,6 +13,12 @@
 //!
 //! A detected mismatch surfaces as [`QuditError::PassFailed`], naming the
 //! wrapped pass and the offending basis state.
+//!
+//! State-vector comparisons run on a configurable [`SimBackend`]
+//! ([`VerifyEquivalence::with_backend`]); the default `Auto` backend walks
+//! each circuit's classical prefix sparsely with bit-identical results, so
+//! verification of the paper's (mostly classical) pipelines no longer pays
+//! the dense `O(d^width)`-per-gate walk over the long permutation prefixes.
 
 use qudit_core::math::MATRIX_TOLERANCE;
 use qudit_core::pipeline::{Pass, PassContext, PassManager};
@@ -21,7 +27,8 @@ use qudit_core::{Circuit, QuditError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::statevector::{circuit_unitary, StateVector};
+use crate::sparse::{circuit_unitary_with, SimBackend, SimState};
+use crate::statevector::StateVector;
 
 /// Default register-size bound for exhaustive classical checking.
 const DEFAULT_MAX_EXHAUSTIVE_STATES: usize = 4096;
@@ -75,16 +82,19 @@ pub struct VerifyEquivalence {
     inner: Box<dyn Pass>,
     max_exhaustive_states: usize,
     samples: usize,
+    backend: SimBackend,
 }
 
 impl VerifyEquivalence {
-    /// Wraps a pass with the default verification limits.
+    /// Wraps a pass with the default verification limits and the
+    /// [`SimBackend::Auto`] simulation backend.
     pub fn wrap(inner: Box<dyn Pass>) -> Self {
         VerifyEquivalence {
             name: format!("verify({})", inner.name()),
             inner,
             max_exhaustive_states: DEFAULT_MAX_EXHAUSTIVE_STATES,
             samples: DEFAULT_SAMPLES,
+            backend: SimBackend::Auto,
         }
     }
 
@@ -98,11 +108,31 @@ impl VerifyEquivalence {
         self
     }
 
+    /// Selects the simulation backend the state-vector comparisons run on.
+    ///
+    /// The default, [`SimBackend::Auto`], scans each circuit for a classical
+    /// prefix and simulates that prefix sparsely; `Dense` restores the
+    /// pre-sparse behaviour and `Sparse` forces the hybrid engine.  Every
+    /// backend produces bit-identical states, so the verdicts never depend
+    /// on this knob — only the wall time does.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Wraps every pass of a [`PassManager`] in a [`VerifyEquivalence`]
     /// decorator, turning the pipeline into a self-checking one.
     #[must_use]
     pub fn wrap_manager(manager: PassManager) -> PassManager {
-        manager.map_passes(|inner| Box::new(VerifyEquivalence::wrap(inner)))
+        Self::wrap_manager_with_backend(manager, SimBackend::Auto)
+    }
+
+    /// [`VerifyEquivalence::wrap_manager`] with an explicit simulation
+    /// backend for every wrapper.
+    #[must_use]
+    pub fn wrap_manager_with_backend(manager: PassManager, backend: SimBackend) -> PassManager {
+        manager.map_passes(|inner| Box::new(VerifyEquivalence::wrap(inner).with_backend(backend)))
     }
 
     fn fail(&self, reason: String) -> QuditError {
@@ -197,8 +227,10 @@ impl VerifyEquivalence {
                 }
             }
         } else if size <= MAX_UNITARY_STATES {
-            let before_unitary = circuit_unitary(before)?;
-            let after_unitary = circuit_unitary(after)?;
+            // Column states are basis states, so the backend's sparse
+            // fast-path covers each circuit's classical prefix.
+            let before_unitary = circuit_unitary_with(before, self.backend)?;
+            let after_unitary = circuit_unitary_with(after, self.backend)?;
             if !before_unitary.approx_eq_up_to_phase(&after_unitary, MATRIX_TOLERANCE.max(1e-7)) {
                 return Err(self.fail(
                     "output unitary differs from the input unitary (up to phase)".to_string(),
@@ -225,12 +257,21 @@ impl VerifyEquivalence {
                 let norm = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
                 let amplitudes: Vec<qudit_core::math::Complex> =
                     amplitudes.iter().map(|a| a.scale(1.0 / norm)).collect();
-                let mut state_before =
-                    StateVector::from_amplitudes(dimension, before.width(), amplitudes.clone())?;
+                // Routed through the hybrid engine for uniformity; a dense
+                // random input resolves to the dense representation, so the
+                // arithmetic matches the pre-backend behaviour exactly.
+                let mut state_before = SimState::from_statevector(
+                    StateVector::from_amplitudes(dimension, before.width(), amplitudes.clone())?,
+                    self.backend,
+                );
                 state_before.apply_circuit(before)?;
-                let mut state_after =
-                    StateVector::from_amplitudes(dimension, before.width(), amplitudes)?;
+                let mut state_after = SimState::from_statevector(
+                    StateVector::from_amplitudes(dimension, before.width(), amplitudes)?,
+                    self.backend,
+                );
                 state_after.apply_circuit(after)?;
+                let state_before = state_before.into_statevector();
+                let state_after = state_after.into_statevector();
                 if (state_before.fidelity(&state_after) - 1.0).abs() > 1e-9 {
                     return Err(self.fail(format!(
                         "output circuit is not equivalent to its input \
@@ -432,6 +473,45 @@ mod tests {
             Err(QuditError::PassFailed { pass, .. }) => assert_eq!(pass, "drop-all"),
             other => panic!("expected PassFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn verdicts_are_backend_independent() {
+        // The same faithful and unfaithful passes must pass/fail identically
+        // under Dense, Sparse and Auto.
+        for backend in [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto] {
+            let ok = PassManager::new()
+                .with_pass(VerifyEquivalence::wrap(Box::new(LowerToGGates)).with_backend(backend));
+            assert!(ok.run(sample_circuit()).is_ok(), "backend {backend}");
+
+            let drop_all = pass_fn("drop-all", |c: Circuit| {
+                Ok(Circuit::new(c.dimension(), c.width()))
+            });
+            let bad = PassManager::new()
+                .with_pass(VerifyEquivalence::wrap(Box::new(drop_all)).with_backend(backend));
+            assert!(
+                matches!(
+                    bad.run(sample_circuit()),
+                    Err(QuditError::PassFailed { .. })
+                ),
+                "backend {backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrap_manager_with_backend_wraps_every_pass() {
+        let manager = VerifyEquivalence::wrap_manager_with_backend(
+            PassManager::new()
+                .with_pass(LowerToGGates)
+                .with_pass(CancelInversePairs),
+            SimBackend::Sparse,
+        );
+        assert_eq!(
+            manager.pass_names(),
+            vec!["verify(lower-to-g-gates)", "verify(cancel-inverse-pairs)"]
+        );
+        assert!(manager.run(sample_circuit()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,943 @@
+//! Sparse (amplitude-map) simulation of qudit circuits, and the
+//! [`SimBackend`] dispatch between the sparse and dense engines.
+//!
+//! The synthesis constructions of the paper spend most of their gate count
+//! in long *classical prefixes*: runs of permutation gates that merely move
+//! basis amplitudes around.  The dense engine
+//! ([`StateVector`]) walks all `d^width` amplitudes for
+//! every gate; for a (near-)basis input state almost all of that work
+//! touches zeros.  [`SparseState`] stores only the nonzero amplitudes in a
+//! hash map and applies classical gates as **index remappings in
+//! `O(nnz)`** — independent of the register size.
+//!
+//! [`SimState`] is the hybrid engine used by [`simulate_basis`] and
+//! [`circuit_unitary_with`]: it starts sparse and switches to the dense
+//! in-place engine the moment a non-classical gate appears (or the state
+//! stops being sparse).  Because classical gates only *move* amplitudes and
+//! the dense engine takes over before any arithmetic mixes them, the hybrid
+//! result is bit-identical to a dense-only simulation of the same circuit.
+//!
+//! Which engine a circuit gets is decided by [`SimBackend`]: `Dense` and
+//! `Sparse` force one engine, `Auto` picks per circuit via a classicality
+//! scan ([`classical_prefix_len`]).
+
+use std::collections::HashMap;
+
+use qudit_core::math::{Complex, SquareMatrix};
+use qudit_core::{Circuit, Dimension, Gate, GateOp, QuditError, Result, SingleQuditOp};
+
+use crate::basis::{digits_to_index, index_to_digits};
+use crate::statevector::StateVector;
+
+/// The digit of the qudit with the given stride in a mixed-radix index.
+#[inline]
+fn digit_at(index: usize, stride: usize, d: usize) -> u32 {
+    ((index / stride) % d) as u32
+}
+
+/// Selects the simulation engine used by [`simulate_basis`],
+/// [`circuit_unitary_with`] and the `VerifyEquivalence` pass.
+///
+/// * [`SimBackend::Dense`] — always the in-place dense engine
+///   ([`StateVector`]); cost `O(d^width)` per gate.
+/// * [`SimBackend::Sparse`] — always the hybrid sparse engine
+///   ([`SimState`]): classical gates cost `O(nnz)`, and the state densifies
+///   at the first non-classical gate.
+/// * [`SimBackend::Auto`] — a classicality scan per circuit: circuits with a
+///   non-empty classical prefix go sparse, circuits that open with a
+///   non-classical gate go dense.
+///
+/// Both engines produce bit-identical final states, so the choice is purely
+/// a performance knob.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+/// use qudit_sim::{simulate_basis, SimBackend};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 4);
+/// for q in 0..4 {
+///     circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(q)))?;
+/// }
+/// // A classical circuit resolves to the sparse engine under `Auto`.
+/// assert_eq!(SimBackend::Auto.resolve(&circuit), SimBackend::Sparse);
+/// let state = simulate_basis(&circuit, &[0, 0, 0, 0], SimBackend::Auto)?;
+/// assert!(state.probability(&[1, 1, 1, 1]) > 0.999);
+/// // Dense and sparse agree exactly.
+/// let dense = simulate_basis(&circuit, &[0, 0, 0, 0], SimBackend::Dense)?;
+/// assert_eq!(state, dense);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimBackend {
+    /// The in-place dense state-vector engine.
+    Dense,
+    /// The sparse amplitude-map engine (densifies on non-classical gates).
+    Sparse,
+    /// Per-circuit choice via a classicality scan (the default).
+    #[default]
+    Auto,
+}
+
+impl SimBackend {
+    /// Resolves `Auto` against a concrete circuit, returning `Dense` or
+    /// `Sparse`.
+    ///
+    /// `Auto` picks the sparse engine exactly when the circuit has a
+    /// non-empty classical prefix (see [`classical_prefix_len`]): a basis
+    /// input then stays at one nonzero amplitude for the whole prefix, so
+    /// every prefix gate costs `O(1)` instead of `O(d^width)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+    /// use qudit_sim::SimBackend;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let d = Dimension::new(3)?;
+    /// let empty = Circuit::new(d, 2);
+    /// assert_eq!(SimBackend::Auto.resolve(&empty), SimBackend::Dense);
+    /// assert_eq!(SimBackend::Sparse.resolve(&empty), SimBackend::Sparse);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn resolve(self, circuit: &Circuit) -> SimBackend {
+        match self {
+            SimBackend::Dense => SimBackend::Dense,
+            SimBackend::Sparse => SimBackend::Sparse,
+            SimBackend::Auto => {
+                if classical_prefix_len(circuit) > 0 {
+                    SimBackend::Sparse
+                } else {
+                    SimBackend::Dense
+                }
+            }
+        }
+    }
+
+    /// A short lowercase label (`"dense"`, `"sparse"`, `"auto"`) for tables
+    /// and benchmarks.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimBackend::Dense => "dense",
+            SimBackend::Sparse => "sparse",
+            SimBackend::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The number of leading classical (permutation) gates of a circuit — the
+/// classicality scan behind [`SimBackend::Auto`].
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::math::{Complex, SquareMatrix};
+/// use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+/// use qudit_sim::classical_prefix_len;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// // A Hadamard-like mix on levels 0 and 1 — not a permutation.
+/// let s = 1.0 / 2.0f64.sqrt();
+/// let mut mix = SquareMatrix::identity(3);
+/// mix[(0, 0)] = Complex::from_real(s);
+/// mix[(0, 1)] = Complex::from_real(s);
+/// mix[(1, 0)] = Complex::from_real(s);
+/// mix[(1, 1)] = Complex::from_real(-s);
+///
+/// let mut circuit = Circuit::new(d, 1);
+/// circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))?;
+/// circuit.push(Gate::single(SingleQuditOp::Unitary(mix), QuditId::new(0)))?;
+/// circuit.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))?;
+/// assert_eq!(classical_prefix_len(&circuit), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classical_prefix_len(circuit: &Circuit) -> usize {
+    circuit
+        .gates()
+        .iter()
+        .take_while(|gate| gate.is_classical())
+        .count()
+}
+
+/// A sparse state over `width` qudits of dimension `d`: only the nonzero
+/// amplitudes are stored, keyed by basis-state index.
+///
+/// Classical gates are applied as index remappings in `O(nnz)`; general
+/// single-qudit unitaries are applied block-sparse in `O(nnz · d)` (only
+/// target-stride blocks that carry amplitude are mixed).  For the hybrid
+/// sparse-then-dense engine most callers want, see [`SimState`].
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+/// use qudit_sim::SparseState;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 3);
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Add(2),
+///     QuditId::new(2),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+///
+/// let mut state = SparseState::from_basis(d, &[0, 1, 0])?;
+/// state.apply_circuit(&circuit)?;
+/// // A classical circuit keeps a basis state at a single nonzero amplitude.
+/// assert_eq!(state.nnz(), 1);
+/// assert!(state.probability(&[0, 1, 2]) > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseState {
+    dimension: Dimension,
+    width: usize,
+    amplitudes: HashMap<usize, Complex>,
+}
+
+impl SparseState {
+    /// Creates the all-zeros basis state `|0…0⟩`.
+    pub fn new(dimension: Dimension, width: usize) -> Self {
+        let mut amplitudes = HashMap::with_capacity(1);
+        amplitudes.insert(0, Complex::ONE);
+        SparseState {
+            dimension,
+            width,
+            amplitudes,
+        }
+    }
+
+    /// Creates the basis state with the given digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a digit is out of range.
+    pub fn from_basis(dimension: Dimension, digits: &[u32]) -> Result<Self> {
+        for &digit in digits {
+            dimension.check_level(digit)?;
+        }
+        let mut amplitudes = HashMap::with_capacity(1);
+        amplitudes.insert(digits_to_index(digits, dimension), Complex::ONE);
+        Ok(SparseState {
+            dimension,
+            width: digits.len(),
+            amplitudes,
+        })
+    }
+
+    /// Creates a sparse state from a dense one, keeping the nonzero
+    /// amplitudes.
+    pub fn from_statevector(state: &StateVector) -> Self {
+        let amplitudes = state
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .filter(|(_, amp)| **amp != Complex::ZERO)
+            .map(|(index, amp)| (index, *amp))
+            .collect();
+        SparseState {
+            dimension: state.dimension(),
+            width: state.width(),
+            amplitudes,
+        }
+    }
+
+    /// Densifies into a [`StateVector`].
+    pub fn to_statevector(&self) -> StateVector {
+        let size = self.dimension.register_size(self.width);
+        let mut amplitudes = vec![Complex::ZERO; size];
+        for (&index, &amp) in &self.amplitudes {
+            amplitudes[index] = amp;
+        }
+        StateVector::from_amplitudes(self.dimension, self.width, amplitudes)
+            .expect("sparse indices are in range by construction")
+    }
+
+    /// The qudit dimension.
+    pub fn dimension(&self) -> Dimension {
+        self.dimension
+    }
+
+    /// The number of qudits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stored (nonzero) amplitudes.
+    pub fn nnz(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// The fraction of basis states carrying amplitude (`nnz / d^width`).
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / self.dimension.register_size(self.width) as f64
+    }
+
+    /// The amplitude of a basis state (zero when not stored).
+    pub fn amplitude(&self, digits: &[u32]) -> Complex {
+        self.amplitudes
+            .get(&digits_to_index(digits, self.dimension))
+            .copied()
+            .unwrap_or(Complex::ZERO)
+    }
+
+    /// The probability of measuring a basis state.
+    pub fn probability(&self, digits: &[u32]) -> f64 {
+        self.amplitude(digits).norm_sqr()
+    }
+
+    /// The squared norm of the state (should be 1 for a physical state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.values().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// If the state is a single basis state (up to global phase), returns
+    /// its digits.
+    pub fn as_basis_state(&self) -> Option<Vec<u32>> {
+        if self.amplitudes.len() != 1 {
+            return None;
+        }
+        let (&index, amp) = self.amplitudes.iter().next().expect("one entry");
+        ((amp.norm_sqr() - 1.0).abs() < 1e-9)
+            .then(|| index_to_digits(index, self.dimension, self.width))
+    }
+
+    /// The stride of a qudit's digit in the mixed-radix amplitude index.
+    #[inline]
+    fn stride_of(&self, qudit: usize) -> usize {
+        self.dimension
+            .as_usize()
+            .pow((self.width - 1 - qudit) as u32)
+    }
+
+    /// Applies a single gate.
+    ///
+    /// Classical gates (level permutations, the value-controlled shifts) are
+    /// the fast path: every stored amplitude moves to its image index, so
+    /// the cost is `O(nnz)` hash-map operations regardless of the register
+    /// size.  Non-classical gates mix each occupied target-stride block in
+    /// place (`O(nnz · d)`), which can grow `nnz` by a factor of up to `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the gate refers to qudits outside the register.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<()> {
+        gate.validate(self.dimension, self.width)?;
+        let d = self.dimension.as_usize();
+        let t_stride = self.stride_of(gate.target().index());
+        let controls: Vec<(usize, qudit_core::ControlPredicate)> = gate
+            .controls()
+            .iter()
+            .map(|c| (self.stride_of(c.qudit.index()), c.predicate))
+            .collect();
+        let fires = |index: usize| {
+            controls
+                .iter()
+                .all(|&(stride, predicate)| predicate.matches(digit_at(index, stride, d)))
+        };
+
+        match gate.op() {
+            // Classical fast path: pure index remapping.  Classical gates
+            // permute the basis, so distinct indices keep distinct images
+            // and the remapped map has exactly the same number of entries.
+            GateOp::Single(op) if op.is_classical() => {
+                let mut permutation = vec![0usize; d];
+                for (level, slot) in permutation.iter_mut().enumerate() {
+                    *slot = op.apply_level(level as u32, self.dimension)? as usize;
+                }
+                self.remap(|index| {
+                    if !fires(index) {
+                        return index;
+                    }
+                    let t_digit = digit_at(index, t_stride, d) as usize;
+                    index - t_digit * t_stride + permutation[t_digit] * t_stride
+                });
+            }
+            GateOp::AddFrom { source, negate } => {
+                let source_stride = self.stride_of(source.index());
+                self.remap(|index| {
+                    if !fires(index) {
+                        return index;
+                    }
+                    let value = digit_at(index, source_stride, d) as usize;
+                    let shift = if *negate { (d - value) % d } else { value };
+                    let t_digit = digit_at(index, t_stride, d) as usize;
+                    index - t_digit * t_stride + (t_digit + shift) % d * t_stride
+                });
+            }
+            GateOp::Single(op) => {
+                let owned_matrix: SquareMatrix;
+                let matrix = match op {
+                    SingleQuditOp::Unitary(matrix) => matrix,
+                    other => {
+                        owned_matrix = other.to_matrix(self.dimension);
+                        &owned_matrix
+                    }
+                };
+                self.mix_blocks(matrix, t_stride, &fires);
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves every stored amplitude from its index to `image(index)`.
+    fn remap(&mut self, image: impl Fn(usize) -> usize) {
+        let mut next = HashMap::with_capacity(self.amplitudes.len());
+        for (index, amp) in self.amplitudes.drain() {
+            let previous = next.insert(image(index), amp);
+            debug_assert!(
+                previous.is_none(),
+                "classical gates permute the basis, images cannot collide"
+            );
+        }
+        self.amplitudes = next;
+    }
+
+    /// Applies a single-qudit unitary to every occupied, firing
+    /// target-stride block.
+    ///
+    /// The per-block arithmetic (gather the `d` amplitudes, then
+    /// `out[row] = Σ_col matrix[row, col] · in[col]` in column order) matches
+    /// the dense engine exactly, so occupied blocks produce bit-identical
+    /// amplitudes.
+    fn mix_blocks(
+        &mut self,
+        matrix: &SquareMatrix,
+        t_stride: usize,
+        fires: &impl Fn(usize) -> bool,
+    ) {
+        let d = self.dimension.as_usize();
+        // Occupied block bases (index with the target digit zeroed), deduped.
+        let mut bases: Vec<usize> = self
+            .amplitudes
+            .keys()
+            .map(|&index| index - digit_at(index, t_stride, d) as usize * t_stride)
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+
+        let mut scratch = vec![Complex::ZERO; d];
+        for base in bases {
+            if !fires(base) {
+                continue;
+            }
+            for (level, slot) in scratch.iter_mut().enumerate() {
+                *slot = self
+                    .amplitudes
+                    .remove(&(base + level * t_stride))
+                    .unwrap_or(Complex::ZERO);
+            }
+            for row in 0..d {
+                let mut acc = Complex::ZERO;
+                for (column, &amp) in scratch.iter().enumerate() {
+                    acc += matrix[(row, column)] * amp;
+                }
+                if acc != Complex::ZERO {
+                    self.amplitudes.insert(base + row * t_stride, acc);
+                }
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit does not match the register or a
+    /// gate is invalid.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<()> {
+        check_register(circuit, self.dimension, self.width)?;
+        for gate in circuit.gates() {
+            self.apply_gate(gate)?;
+        }
+        Ok(())
+    }
+}
+
+fn check_register(circuit: &Circuit, dimension: Dimension, width: usize) -> Result<()> {
+    if circuit.dimension() != dimension {
+        return Err(QuditError::IncompatibleCircuits {
+            reason: "circuit and state dimensions differ".to_string(),
+        });
+    }
+    if circuit.width() > width {
+        return Err(QuditError::IncompatibleCircuits {
+            reason: "circuit is wider than the state register".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Densify when the sparse representation stops paying for itself: a hash
+/// map entry costs several times a dense slot, so beyond `size / DENSIFY_DIVISOR`
+/// nonzeros the dense walk is cheaper.
+const DENSIFY_DIVISOR: usize = 4;
+
+/// The hybrid simulation engine: sparse across the classical prefix, dense
+/// from the first non-classical gate on.
+///
+/// The state starts in the representation the [`SimBackend`] picks and
+/// switches to the dense in-place engine the moment a non-classical gate
+/// appears (or the stored amplitudes grow past a quarter of the register,
+/// where the hash map stops paying for itself).  Classical gates only move
+/// amplitudes, so the hybrid final state is **bit-identical** to a dense
+/// simulation of the same circuit on the same input.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+/// use qudit_sim::{SimBackend, SimState};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 3);
+/// circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))?;
+///
+/// let mut state = SimState::from_basis(d, &[0, 0, 0], SimBackend::Sparse)?;
+/// state.apply_circuit(&circuit)?;
+/// assert!(state.is_sparse());
+/// assert!(state.into_statevector().probability(&[1, 0, 0]) > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimState {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Sparse(SparseState),
+    Dense(StateVector),
+}
+
+impl SimState {
+    /// Creates the basis state with the given digits on the requested
+    /// backend ([`SimBackend::Auto`] starts sparse: a basis state is as
+    /// sparse as states get).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a digit is out of range.
+    pub fn from_basis(dimension: Dimension, digits: &[u32], backend: SimBackend) -> Result<Self> {
+        let repr = match backend {
+            SimBackend::Dense => Repr::Dense(StateVector::from_basis(dimension, digits)?),
+            SimBackend::Sparse | SimBackend::Auto => {
+                Repr::Sparse(SparseState::from_basis(dimension, digits)?)
+            }
+        };
+        Ok(SimState { repr })
+    }
+
+    /// Wraps an existing dense state, going sparse only when the backend
+    /// asks for it and the state is actually sparse enough to benefit.
+    pub fn from_statevector(state: StateVector, backend: SimBackend) -> Self {
+        let repr = match backend {
+            SimBackend::Dense => Repr::Dense(state),
+            SimBackend::Sparse | SimBackend::Auto => {
+                // Count nonzeros with a plain scan first: building the hash
+                // map only to find the state too dense would waste an
+                // `O(size)` allocation (dense random inputs are the common
+                // case on this path).
+                let size = state.dimension().register_size(state.width());
+                let nnz = state
+                    .amplitudes()
+                    .iter()
+                    .filter(|amp| **amp != Complex::ZERO)
+                    .count();
+                if nnz.saturating_mul(DENSIFY_DIVISOR) <= size {
+                    Repr::Sparse(SparseState::from_statevector(&state))
+                } else {
+                    Repr::Dense(state)
+                }
+            }
+        };
+        SimState { repr }
+    }
+
+    /// Returns `true` while the state is held in the sparse representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Number of stored amplitudes (`d^width` once dense).
+    pub fn nnz(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(state) => state.nnz(),
+            Repr::Dense(state) => state.amplitudes().len(),
+        }
+    }
+
+    /// Applies a gate, switching from sparse to dense on the first
+    /// non-classical gate (and when the state grows too dense).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the gate refers to qudits outside the register.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<()> {
+        if let Repr::Sparse(state) = &mut self.repr {
+            let size = state.dimension().register_size(state.width());
+            if gate.is_classical() && state.nnz().saturating_mul(DENSIFY_DIVISOR) <= size {
+                return state.apply_gate(gate);
+            }
+            self.repr = Repr::Dense(state.to_statevector());
+        }
+        match &mut self.repr {
+            Repr::Dense(state) => state.apply_gate(gate),
+            Repr::Sparse(_) => unreachable!("sparse case handled above"),
+        }
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit does not match the register or a
+    /// gate is invalid.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<()> {
+        let (dimension, width) = match &self.repr {
+            Repr::Sparse(state) => (state.dimension(), state.width()),
+            Repr::Dense(state) => (state.dimension(), state.width()),
+        };
+        check_register(circuit, dimension, width)?;
+        for gate in circuit.gates() {
+            self.apply_gate(gate)?;
+        }
+        Ok(())
+    }
+
+    /// The probability of measuring a basis state — answered from the
+    /// current representation, without densifying.
+    pub fn probability(&self, digits: &[u32]) -> f64 {
+        match &self.repr {
+            Repr::Sparse(state) => state.probability(digits),
+            Repr::Dense(state) => state.probability(digits),
+        }
+    }
+
+    /// The basis state of largest probability — the observed output when a
+    /// classical circuit is simulated through this engine.  Answered from
+    /// the current representation without densifying.
+    pub fn dominant_basis_state(&self) -> Vec<u32> {
+        let by_weight = |a: &Complex, b: &Complex| {
+            a.norm_sqr()
+                .partial_cmp(&b.norm_sqr())
+                .expect("amplitudes are finite")
+        };
+        match &self.repr {
+            Repr::Sparse(state) => {
+                let index = state
+                    .amplitudes
+                    .iter()
+                    .max_by(|(_, a), (_, b)| by_weight(a, b))
+                    .map(|(&index, _)| index)
+                    .unwrap_or(0);
+                index_to_digits(index, state.dimension(), state.width())
+            }
+            Repr::Dense(state) => {
+                let (index, _) = state
+                    .amplitudes()
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| by_weight(a, b))
+                    .expect("states are non-empty");
+                index_to_digits(index, state.dimension(), state.width())
+            }
+        }
+    }
+
+    /// Densifies into a [`StateVector`].
+    pub fn into_statevector(self) -> StateVector {
+        match self.repr {
+            Repr::Sparse(state) => state.to_statevector(),
+            Repr::Dense(state) => state,
+        }
+    }
+}
+
+/// Simulates a circuit on a basis-state input using the given backend,
+/// returning the (dense) final state.
+///
+/// `Auto` resolves per circuit via [`SimBackend::resolve`]; all three
+/// backends return bit-identical states.
+///
+/// # Errors
+///
+/// Returns an error when the input does not match the circuit's register or
+/// a gate is invalid.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+/// use qudit_sim::{simulate_basis, SimBackend};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 2);
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+/// let state = simulate_basis(&circuit, &[0, 0], SimBackend::Auto)?;
+/// assert!(state.probability(&[0, 1]) > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_basis(
+    circuit: &Circuit,
+    digits: &[u32],
+    backend: SimBackend,
+) -> Result<StateVector> {
+    if digits.len() < circuit.width() {
+        return Err(QuditError::IncompatibleCircuits {
+            reason: "input state is narrower than the circuit".to_string(),
+        });
+    }
+    let mut state = SimState::from_basis(circuit.dimension(), digits, backend.resolve(circuit))?;
+    state.apply_circuit(circuit)?;
+    Ok(state.into_statevector())
+}
+
+/// Computes the full unitary matrix implemented by a circuit on the given
+/// backend.
+///
+/// The matrix has size `d^width`; only use this for small registers.  All
+/// backends produce bit-identical matrices — `Sparse`/`Auto` just skip the
+/// dead amplitudes during classical prefixes, which dominates the cost for
+/// the paper's constructions.
+///
+/// # Errors
+///
+/// Returns an error when a gate of the circuit is invalid.
+pub fn circuit_unitary_with(circuit: &Circuit, backend: SimBackend) -> Result<SquareMatrix> {
+    let dimension = circuit.dimension();
+    let width = circuit.width();
+    let size = dimension.register_size(width);
+    let resolved = backend.resolve(circuit);
+    let mut matrix = SquareMatrix::zeros(size);
+    for column in 0..size {
+        let digits = index_to_digits(column, dimension, width);
+        let mut state = SimState::from_basis(dimension, &digits, resolved)?;
+        state.apply_circuit(circuit)?;
+        for (row, amp) in state.into_statevector().amplitudes().iter().enumerate() {
+            matrix[(row, column)] = *amp;
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::math::MATRIX_TOLERANCE;
+    use qudit_core::{Control, QuditId};
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn fourier(d: u32) -> SquareMatrix {
+        let omega = Complex::from_phase(2.0 * std::f64::consts::PI / f64::from(d));
+        let s = 1.0 / f64::from(d).sqrt();
+        let mut entries = Vec::new();
+        for r in 0..d {
+            for c in 0..d {
+                let mut w = Complex::ONE;
+                for _ in 0..(r * c) {
+                    w *= omega;
+                }
+                entries.push(w.scale(s));
+            }
+        }
+        SquareMatrix::from_rows(d as usize, entries).unwrap()
+    }
+
+    #[test]
+    fn classical_gates_stay_at_one_nonzero() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 3);
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))
+            .unwrap();
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Swap(0, 1),
+                QuditId::new(1),
+                vec![Control::level(QuditId::new(0), 2)],
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::add_from(
+                QuditId::new(1),
+                false,
+                QuditId::new(2),
+                vec![],
+            ))
+            .unwrap();
+        let mut state = SparseState::from_basis(d, &[0, 0, 0]).unwrap();
+        state.apply_circuit(&circuit).unwrap();
+        assert_eq!(state.nnz(), 1);
+        assert_eq!(state.as_basis_state(), Some(vec![2, 1, 1]));
+        assert_eq!(
+            state.to_statevector(),
+            simulate_basis(&circuit, &[0, 0, 0], SimBackend::Dense).unwrap()
+        );
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_all_basis_inputs() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 3);
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::odd(QuditId::new(0))],
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::single(
+                SingleQuditOp::Unitary(fourier(3)),
+                QuditId::new(2),
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))
+            .unwrap();
+        for input in crate::basis::all_basis_states(d, 3) {
+            let dense = simulate_basis(&circuit, &input, SimBackend::Dense).unwrap();
+            let sparse = simulate_basis(&circuit, &input, SimBackend::Sparse).unwrap();
+            let auto = simulate_basis(&circuit, &input, SimBackend::Auto).unwrap();
+            assert_eq!(dense, sparse, "input {input:?}");
+            assert_eq!(dense, auto, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn pure_sparse_unitary_application_matches_dense() {
+        // SparseState's block-sparse mix (not the hybrid densify path) must
+        // agree with the dense engine too.
+        let d = dim(3);
+        let gate = Gate::controlled(
+            SingleQuditOp::Unitary(fourier(3)),
+            QuditId::new(1),
+            vec![Control::zero(QuditId::new(0))],
+        );
+        let mut sparse = SparseState::from_basis(d, &[0, 1]).unwrap();
+        sparse.apply_gate(&gate).unwrap();
+        let mut dense = StateVector::from_basis(d, &[0, 1]).unwrap();
+        dense.apply_gate(&gate).unwrap();
+        assert_eq!(sparse.nnz(), 3);
+        assert!((sparse.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(sparse.to_statevector(), dense);
+
+        // A non-firing control leaves the sparse state untouched.
+        let mut idle = SparseState::from_basis(d, &[2, 1]).unwrap();
+        idle.apply_gate(&gate).unwrap();
+        assert_eq!(idle.as_basis_state(), Some(vec![2, 1]));
+    }
+
+    #[test]
+    fn hybrid_densifies_exactly_at_the_first_non_classical_gate() {
+        let d = dim(3);
+        let mut state = SimState::from_basis(d, &[0, 0], SimBackend::Sparse).unwrap();
+        let classical = Gate::single(SingleQuditOp::Add(1), QuditId::new(0));
+        state.apply_gate(&classical).unwrap();
+        assert!(state.is_sparse());
+        assert_eq!(state.nnz(), 1);
+        let unitary = Gate::single(SingleQuditOp::Unitary(fourier(3)), QuditId::new(1));
+        state.apply_gate(&unitary).unwrap();
+        assert!(!state.is_sparse());
+        // Classical gates after densification stay on the dense engine.
+        state.apply_gate(&classical).unwrap();
+        assert!(!state.is_sparse());
+    }
+
+    #[test]
+    fn auto_resolution_scans_classicality() {
+        let d = dim(3);
+        let mut classical = Circuit::new(d, 1);
+        classical
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        assert_eq!(SimBackend::Auto.resolve(&classical), SimBackend::Sparse);
+        assert_eq!(classical_prefix_len(&classical), 1);
+
+        let mut quantum = Circuit::new(d, 1);
+        quantum
+            .push(Gate::single(
+                SingleQuditOp::Unitary(fourier(3)),
+                QuditId::new(0),
+            ))
+            .unwrap();
+        assert_eq!(SimBackend::Auto.resolve(&quantum), SimBackend::Dense);
+        assert_eq!(classical_prefix_len(&quantum), 0);
+        assert_eq!(SimBackend::Dense.resolve(&classical), SimBackend::Dense);
+    }
+
+    #[test]
+    fn circuit_unitary_with_agrees_across_backends() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 2);
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::zero(QuditId::new(0))],
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::single(
+                SingleQuditOp::Unitary(fourier(3)),
+                QuditId::new(0),
+            ))
+            .unwrap();
+        let dense = circuit_unitary_with(&circuit, SimBackend::Dense).unwrap();
+        let sparse = circuit_unitary_with(&circuit, SimBackend::Sparse).unwrap();
+        assert!(dense.is_unitary(MATRIX_TOLERANCE));
+        assert!(dense.approx_eq(&sparse, 0.0));
+    }
+
+    #[test]
+    fn dense_initial_states_stay_on_the_dense_engine() {
+        let d = dim(3);
+        let size = d.register_size(2);
+        let amp = Complex::from_real(1.0 / (size as f64).sqrt());
+        let state = StateVector::from_amplitudes(d, 2, vec![amp; size]).unwrap();
+        let sim = SimState::from_statevector(state.clone(), SimBackend::Auto);
+        assert!(!sim.is_sparse(), "a uniform state must not go sparse");
+        let forced = SimState::from_statevector(state, SimBackend::Dense);
+        assert!(!forced.is_sparse());
+    }
+
+    #[test]
+    fn register_mismatches_are_rejected() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(dim(4), 2);
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        let mut state = SparseState::from_basis(d, &[0, 0]).unwrap();
+        assert!(state.apply_circuit(&circuit).is_err());
+        assert!(simulate_basis(&circuit, &[0], SimBackend::Auto).is_err());
+    }
+}

@@ -12,7 +12,7 @@
 use qudit_core::math::{Complex, SquareMatrix};
 use qudit_core::{Circuit, Dimension, Gate, GateOp, QuditError, Result, SingleQuditOp};
 
-use crate::basis::{digits_to_index, index_to_digits};
+use crate::basis::digits_to_index;
 
 /// The digit of qudit with the given stride in a mixed-radix index.
 #[inline]
@@ -311,23 +311,17 @@ impl StateVector {
 ///
 /// The matrix has size `d^width`; only use this for small registers.
 ///
+/// Delegates to [`circuit_unitary_with`](crate::sparse::circuit_unitary_with)
+/// on the [`Auto`](crate::SimBackend::Auto) backend: circuits with a
+/// classical prefix are simulated sparsely over that prefix (every column
+/// input is a basis state, so the prefix costs `O(1)` per gate instead of
+/// `O(d^width)`), with a bit-identical result.
+///
 /// # Errors
 ///
 /// Returns an error when a gate of the circuit is invalid.
 pub fn circuit_unitary(circuit: &Circuit) -> Result<SquareMatrix> {
-    let dimension = circuit.dimension();
-    let width = circuit.width();
-    let size = dimension.register_size(width);
-    let mut matrix = SquareMatrix::zeros(size);
-    for column in 0..size {
-        let digits = index_to_digits(column, dimension, width);
-        let mut state = StateVector::from_basis(dimension, &digits)?;
-        state.apply_circuit(circuit)?;
-        for (row, amp) in state.amplitudes().iter().enumerate() {
-            matrix[(row, column)] = *amp;
-        }
-    }
-    Ok(matrix)
+    crate::sparse::circuit_unitary_with(circuit, crate::sparse::SimBackend::Auto)
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use qudit_core::pipeline::{
 };
 use qudit_core::{Circuit, Dimension, QuditError};
 use qudit_sim::pipeline::VerifyEquivalence;
+use qudit_sim::SimBackend;
 
 use crate::error::SynthesisError;
 use crate::lower;
@@ -126,12 +127,26 @@ impl Pipeline {
     /// [`Pipeline::standard`] with every stage wrapped in
     /// [`VerifyEquivalence`]: each stage re-simulates its input and output
     /// and fails the pipeline on any semantics change.
+    ///
+    /// Verification simulates on the [`SimBackend::Auto`] backend — each
+    /// stage's classical prefix is walked sparsely; use
+    /// [`Pipeline::standard_verified_with_backend`] to force an engine.
     pub fn standard_verified(dimension: Dimension, width: usize) -> PassManager {
-        VerifyEquivalence::wrap_manager(Self::standard(dimension, width))
+        Self::standard_verified_with_backend(dimension, width, SimBackend::Auto)
+    }
+
+    /// [`Pipeline::standard_verified`] with an explicit simulation backend
+    /// for every verification wrapper.
+    pub fn standard_verified_with_backend(
+        dimension: Dimension,
+        width: usize,
+        backend: SimBackend,
+    ) -> PassManager {
+        VerifyEquivalence::wrap_manager_with_backend(Self::standard(dimension, width), backend)
     }
 
     /// [`Pipeline::lowering`] with every stage wrapped in
-    /// [`VerifyEquivalence`].
+    /// [`VerifyEquivalence`] (on the [`SimBackend::Auto`] backend).
     pub fn lowering_verified(dimension: Dimension, width: usize) -> PassManager {
         VerifyEquivalence::wrap_manager(Self::lowering(dimension, width))
     }
@@ -166,11 +181,22 @@ impl Pipeline {
     /// # }
     /// ```
     pub fn standard_batch() -> PassManager {
+        Self::standard_batch_with_cache(CacheMode::PerRun)
+    }
+
+    /// [`Pipeline::standard_batch`] with an explicit [`CacheMode`].
+    ///
+    /// The given mode is installed verbatim on the returned manager — a
+    /// non-default mode (`Off`, or a caller-provided `Shared` cache) is
+    /// propagated, never silently reset to the preset's own default.  See
+    /// `standard_batch_propagates_non_default_cache_modes` in the tests for
+    /// the pinned contract.
+    pub fn standard_batch_with_cache(cache: CacheMode) -> PassManager {
         PassManager::new()
             .with_pass(LowerToElementary)
             .with_pass(LowerToGGates)
             .with_pass(CancelInversePairs)
-            .with_cache(CacheMode::PerRun)
+            .with_cache(cache)
     }
 }
 
@@ -226,6 +252,52 @@ mod tests {
         let manager = Pipeline::standard(dim(3), 4);
         let circuit = Circuit::new(dim(3), 3);
         assert!(manager.run(circuit).is_err());
+    }
+
+    #[test]
+    fn standard_batch_propagates_non_default_cache_modes() {
+        use qudit_core::cache::LoweringCache;
+
+        // The preset's own default is a per-run cache…
+        assert!(matches!(
+            Pipeline::standard_batch().cache_mode(),
+            CacheMode::PerRun
+        ));
+        // …but a caller-selected mode must survive construction unchanged.
+        assert!(matches!(
+            Pipeline::standard_batch_with_cache(CacheMode::Off).cache_mode(),
+            CacheMode::Off
+        ));
+        let cache = LoweringCache::shared();
+        let manager = Pipeline::standard_batch_with_cache(CacheMode::Shared(cache.clone()));
+        assert!(matches!(manager.cache_mode(), CacheMode::Shared(_)));
+
+        // The propagated shared cache is the caller's instance, not a fresh
+        // per-run one: a second run must reuse the first run's entries.
+        let synthesis = KToffoli::new(dim(3), 3).unwrap().synthesize().unwrap();
+        manager.run(synthesis.circuit().clone()).unwrap();
+        let second = manager.run(synthesis.circuit().clone()).unwrap();
+        let counters = second.stats[0].cache.expect("caching enabled");
+        assert_eq!(counters.misses, 0, "second run must hit the shared cache");
+        assert!(counters.hits > 0);
+        assert!(cache.counters().hits > 0, "hits land in the caller's cache");
+
+        // And `Off` really disables caching instead of falling back to the
+        // preset default.
+        let off = Pipeline::standard_batch_with_cache(CacheMode::Off);
+        let report = off.run(synthesis.circuit().clone()).unwrap();
+        assert!(report.stats.iter().all(|s| s.cache.is_none()));
+    }
+
+    #[test]
+    fn verified_with_backend_accepts_the_constructions() {
+        let synthesis = KToffoli::new(dim(3), 2).unwrap().synthesize().unwrap();
+        for backend in [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto] {
+            let manager =
+                Pipeline::standard_verified_with_backend(dim(3), synthesis.layout().width, backend);
+            let report = manager.run(synthesis.circuit().clone()).unwrap();
+            assert!(report.circuit.gates().iter().all(Gate::is_g_gate));
+        }
     }
 
     #[test]

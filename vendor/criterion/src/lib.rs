@@ -10,16 +10,49 @@
 //! Instead of criterion's statistical analysis, each benchmark runs a small
 //! fixed number of iterations and prints the mean wall-clock time — enough
 //! to eyeball regressions without pulling in the full dependency tree.
+//!
+//! # CI hooks
+//!
+//! Two environment variables support the CI bench-smoke step:
+//!
+//! * `QUDIT_BENCH_ITERATIONS` — overrides the timed iteration count
+//!   (default 10).  Set it to `1`/`2` for a quick smoke run.
+//! * `QUDIT_BENCH_JSON` — a path; when set, [`criterion_main!`] writes every
+//!   recorded result as a JSON summary (`{"results": [{"name": …,
+//!   "mean_ns": …}, …]}`) to that path after all groups have run, appending
+//!   when several bench binaries share the file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::hint::black_box;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Number of timed iterations per benchmark.
-const ITERATIONS: u32 = 10;
+/// Default number of timed iterations per benchmark.
+const DEFAULT_ITERATIONS: u32 = 10;
+
+/// Environment variable overriding the timed iteration count.
+pub const ITERATIONS_ENV_VAR: &str = "QUDIT_BENCH_ITERATIONS";
+
+/// Environment variable naming the JSON summary file (unset: no summary).
+pub const JSON_ENV_VAR: &str = "QUDIT_BENCH_JSON";
+
+/// Number of timed iterations per benchmark (see [`ITERATIONS_ENV_VAR`]).
+fn iterations() -> u32 {
+    std::env::var(ITERATIONS_ENV_VAR)
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERATIONS)
+}
+
+/// Every result recorded so far in this process, in execution order.
+fn recorded() -> &'static Mutex<Vec<(String, f64)>> {
+    static RECORDED: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RECORDED.get_or_init(|| Mutex::new(Vec::new()))
+}
 
 /// Identifier of a benchmark within a group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,11 +93,12 @@ impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // One warm-up iteration, then timed iterations.
         black_box(routine());
+        let timed = iterations();
         let start = Instant::now();
-        for _ in 0..ITERATIONS {
+        for _ in 0..timed {
             black_box(routine());
         }
-        self.mean_nanos = start.elapsed().as_nanos() as f64 / f64::from(ITERATIONS);
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / f64::from(timed);
     }
 }
 
@@ -133,6 +167,88 @@ fn report(name: &str, mean_nanos: f64) {
     } else {
         println!("bench: {name:<60} {:>12.1} ns/iter", mean_nanos);
     }
+    recorded()
+        .lock()
+        .expect("bench result lock")
+        .push((name.to_string(), mean_nanos));
+}
+
+/// Escapes a string for embedding in a JSON string literal (the benchmark
+/// names are plain ASCII, so only quotes and backslashes matter; control
+/// characters are escaped defensively).
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders every recorded result of this process as a JSON summary.
+pub fn json_summary() -> String {
+    let results = recorded().lock().expect("bench result lock");
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(name, mean_ns)| {
+            format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}}}",
+                json_escape(name),
+                mean_ns
+            )
+        })
+        .collect();
+    format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", entries.join(",\n"))
+}
+
+/// Writes the JSON summary to the path in [`JSON_ENV_VAR`], if set.
+///
+/// Called by [`criterion_main!`] after every group has run.  When the file
+/// already exists (several bench binaries writing one summary), the new
+/// results are merged by concatenating the `results` arrays.
+pub fn write_json_summary_if_requested() {
+    let Ok(path) = std::env::var(JSON_ENV_VAR) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut summary = json_summary();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        if let Some(merged) = merge_summaries(&existing, &summary) {
+            summary = merged;
+        }
+    }
+    if let Err(error) = std::fs::write(&path, &summary) {
+        eprintln!("bench: failed to write JSON summary to {path}: {error}");
+    } else {
+        println!("bench: wrote JSON summary to {path}");
+    }
+}
+
+/// Concatenates the `results` arrays of two summaries produced by
+/// [`json_summary`]. Returns `None` when the existing file is not one of
+/// ours (it is then overwritten).
+fn merge_summaries(existing: &str, new: &str) -> Option<String> {
+    let body = |s: &str| {
+        let start = s.find("[\n")? + 2;
+        let end = s.rfind("\n  ]")?;
+        (start <= end).then(|| s[start..end].to_string())
+    };
+    let old_body = body(existing)?;
+    let new_body = body(new)?;
+    let joined = if old_body.trim().is_empty() {
+        new_body
+    } else if new_body.trim().is_empty() {
+        old_body
+    } else {
+        format!("{old_body},\n{new_body}")
+    };
+    Some(format!("{{\n  \"results\": [\n{joined}\n  ]\n}}\n"))
 }
 
 /// Groups benchmark functions under one entry point.
@@ -152,6 +268,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_summary_if_requested();
         }
     };
 }
@@ -175,7 +292,27 @@ mod tests {
     criterion_group!(benches, sample_bench);
 
     #[test]
-    fn harness_runs() {
+    fn harness_runs_and_records() {
         benches();
+        let summary = json_summary();
+        assert!(summary.contains("\"results\""));
+        assert!(summary.contains("sum/range/10"));
+        assert!(summary.contains("\"mean_ns\""));
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn summaries_merge_by_concatenating_results() {
+        let a = "{\n  \"results\": [\n    {\"name\": \"a\", \"mean_ns\": 1.0}\n  ]\n}\n";
+        let b = "{\n  \"results\": [\n    {\"name\": \"b\", \"mean_ns\": 2.0}\n  ]\n}\n";
+        let merged = merge_summaries(a, b).unwrap();
+        assert!(merged.contains("\"a\""));
+        assert!(merged.contains("\"b\""));
+        assert!(merge_summaries("not json", b).is_none());
     }
 }
