@@ -254,14 +254,18 @@ pub fn sweep_jobs(sweep: &[(u32, usize)]) -> Vec<qudit_core::Circuit> {
         .collect()
 }
 
-/// E10 — ablation: the peephole optimiser (`cancel_inverse_pairs`) applied to
-/// the fully lowered G-gate circuits.  The constructions conjugate levels
-/// aggressively, so a noticeable fraction of the G-gates cancels.
+/// E10 — ablation: the peephole optimiser (`cancel_inverse_pairs`) applied
+/// to the fully lowered G-gate circuits, followed by the commutation-aware
+/// depth scheduler.  The constructions conjugate levels aggressively, so a
+/// noticeable fraction of the G-gates cancels; the emission order then
+/// leaves idle-wire holes that
+/// [`ScheduleDepth`](qudit_core::pipeline::ScheduleDepth) packs away, which
+/// the depth columns report.
 ///
 /// The whole sweep is compiled concurrently through
 /// [`PassManager::run_batch`](qudit_core::pipeline::PassManager::run_batch)
-/// on the cached batch pipeline; the table is identical to compiling each
-/// job sequentially (wall times aside).
+/// on the cached, scheduled batch pipeline; the table is identical to
+/// compiling each job sequentially (wall times aside).
 pub fn e10_peephole(scale: Scale) -> Table {
     let sweep = e10_sweep(scale);
     let syntheses = sweep_syntheses(&sweep);
@@ -269,7 +273,7 @@ pub fn e10_peephole(scale: Scale) -> Table {
         .iter()
         .map(|synthesis| synthesis.circuit().clone())
         .collect();
-    let batch = Pipeline::standard_batch()
+    let batch = Pipeline::standard_batch_scheduled()
         .run_batch(jobs)
         .expect("the k-Toffoli sweep compiles");
     e10_table_from_reports(&sweep, &syntheses, &batch.reports)
@@ -284,13 +288,16 @@ pub fn e10_table_from_reports(
     reports: &[qudit_core::pipeline::PipelineReport],
 ) -> Table {
     let mut table = Table::new(
-        "E10 — peephole optimisation of the lowered k-Toffoli circuits",
+        "E10 — peephole optimisation and depth scheduling of the lowered k-Toffoli circuits",
         &[
             "d",
             "k",
             "G-gates",
             "after cancellation",
             "removed %",
+            "depth",
+            "scheduled depth",
+            "depth saved %",
             "sim backend",
             "verified",
         ],
@@ -298,8 +305,12 @@ pub fn e10_table_from_reports(
     for ((&(d, k), synthesis), report) in sweep.iter().zip(syntheses).zip(reports) {
         let cancel = report
             .stats_for("cancel-inverse-pairs")
-            .expect("standard pipeline ends with cancellation");
+            .expect("the scheduled pipeline cancels inverse pairs");
         let (g_gates, optimized_gates) = (cancel.before.gates, cancel.after.gates);
+        let schedule = report
+            .stats_for("schedule-depth")
+            .expect("the scheduled pipeline ends with depth scheduling");
+        let (depth_before, depth_after) = (schedule.before.depth, schedule.after.depth);
         // Verify that the optimised circuit still implements the Toffoli
         // (sampled for larger registers, exhaustive for small ones), routed
         // through the Auto simulation backend: the optimised circuits are
@@ -321,12 +332,16 @@ pub fn e10_table_from_reports(
                 .is_pass()
         };
         let removed = g_gates - optimized_gates;
+        let depth_saved = depth_before - depth_after;
         table.push_row(vec![
             d.to_string(),
             k.to_string(),
             g_gates.to_string(),
             optimized_gates.to_string(),
             fmt_f64(100.0 * removed as f64 / g_gates as f64),
+            depth_before.to_string(),
+            depth_after.to_string(),
+            fmt_f64(100.0 * depth_saved as f64 / depth_before.max(1) as f64),
             backend.label().to_string(),
             verified.to_string(),
         ]);
@@ -347,15 +362,18 @@ pub fn e11_sweep(scale: Scale) -> Vec<(u32, usize)> {
 }
 
 /// E11 — the compilation pipeline itself: per-pass statistics (gate counts,
-/// depth, lowering-cache hits, wall time) of the standard flow on the
-/// k-Toffoli circuits, as recorded by the `PassManager`.
+/// depth, lowering-cache hits, wall time) of the scheduled standard flow
+/// (macro → elementary → G → optimised → depth-scheduled) on the k-Toffoli
+/// circuits, as recorded by the `PassManager`.  The `schedule-depth` rows'
+/// depth-in/depth-out columns are the depth trajectory of the new
+/// scheduling stage.
 ///
 /// The sweep is compiled concurrently through `run_batch` with a per-job
 /// lowering cache, so the cache columns are deterministic and the table
 /// matches the sequential path (wall times aside).
 pub fn e11_pipeline(scale: Scale) -> Table {
     let sweep = e11_sweep(scale);
-    let batch = Pipeline::standard_batch()
+    let batch = Pipeline::standard_batch_scheduled()
         .run_batch(sweep_jobs(&sweep))
         .expect("the k-Toffoli sweep compiles");
     e11_table_from_reports(&sweep, &batch.reports)
@@ -1091,7 +1109,7 @@ mod tests {
 
         let sweep = e11_sweep(Scale::Quick);
         let jobs = sweep_jobs(&sweep);
-        let manager = Pipeline::standard_batch();
+        let manager = Pipeline::standard_batch_scheduled();
 
         // Sequential reference: one job at a time, in order.
         let sequential: Vec<_> = jobs
@@ -1126,13 +1144,44 @@ mod tests {
     }
 
     #[test]
+    fn e10_depth_scheduling_reduces_mean_depth() {
+        let table = e10_peephole(Scale::Quick);
+        let col = |name: &str| {
+            table
+                .headers
+                .iter()
+                .position(|h| h == name)
+                .unwrap_or_else(|| panic!("missing column {name}"))
+        };
+        let (before_col, after_col, verified_col) =
+            (col("depth"), col("scheduled depth"), col("verified"));
+        let mut before_sum = 0usize;
+        let mut after_sum = 0usize;
+        for row in &table.rows {
+            let before: usize = row[before_col].parse().unwrap();
+            let after: usize = row[after_col].parse().unwrap();
+            assert!(
+                after <= before,
+                "scheduling must not deepen any sweep point: {row:?}"
+            );
+            assert_eq!(row[verified_col], "true", "row failed to verify: {row:?}");
+            before_sum += before;
+            after_sum += after;
+        }
+        assert!(
+            after_sum < before_sum,
+            "scheduling must reduce the sweep's mean depth ({after_sum} !< {before_sum})"
+        );
+    }
+
+    #[test]
     fn e10_batch_matches_sequential() {
         use qudit_core::pool::WorkStealingPool;
 
         let sweep = e10_sweep(Scale::Quick);
         let syntheses = sweep_syntheses(&sweep);
         let jobs = sweep_jobs(&sweep);
-        let manager = Pipeline::standard_batch();
+        let manager = Pipeline::standard_batch_scheduled();
         let sequential: Vec<_> = jobs
             .iter()
             .map(|job| manager.run(job.clone()).unwrap())

@@ -1,0 +1,965 @@
+//! Commutation analysis: the structural commutation oracle, the gate
+//! dependency DAG, and the commutation-aware ASAP depth scheduler.
+//!
+//! Gate count is the paper's primary cost metric, but *depth* — the number
+//! of layers when gates on disjoint qudits run in parallel — is the
+//! wall-clock proxy on real hardware.  The greedy layering of
+//! [`crate::depth::circuit_depth`] respects the emission order of the
+//! gates; the synthesis constructions, however, interleave conjugation
+//! sandwiches on different wires in whatever order the recursion emits
+//! them, so the emitted order is rarely the depth-minimal one.  Reordering
+//! *commuting* gates changes nothing about the circuit's semantics while
+//! potentially packing its layers much tighter.
+//!
+//! This module provides the three pieces of that optimisation:
+//!
+//! * [`gates_commute`] — a cheap, **sound** structural commutation oracle:
+//!   when it returns `true` the two gates provably commute as operators;
+//!   when it returns `false` they may or may not (completeness is partial,
+//!   see the rule table below);
+//! * [`DependencyDag`] — the dependency DAG of a circuit under the oracle:
+//!   an edge `i → j` (for `i < j`) records that gate `j` must stay after
+//!   gate `i` because the oracle could not prove them commuting.  Building
+//!   the DAG is embarrassingly parallel per gate and fans out over a
+//!   [`WorkStealingPool`] for large circuits ([`DependencyDag::build_on`]);
+//! * [`schedule_depth`] / [`schedule_depth_on`] — an as-soon-as-possible
+//!   list scheduler: each gate is placed in the earliest layer that
+//!   respects its dependencies *and* has all of its wires free (first-fit,
+//!   so a late gate may slide into an idle-wire hole that the emission
+//!   order left behind).  The scheduled circuit is a permutation of the
+//!   input in which only oracle-commuting gates changed relative order,
+//!   its [`circuit_depth`](crate::depth::circuit_depth) never exceeds the
+//!   input's, and scheduling is idempotent.  The scheduler fuses the DAG
+//!   scan into layer assignment (only the *maximum* predecessor layer
+//!   matters, so most pair checks are pruned before the oracle runs);
+//!   [`schedule_over`] is the unfused reference over an explicit DAG, and
+//!   the two are pinned equal by the test suite.
+//!
+//! # Oracle rules
+//!
+//! A gate *writes* its target and *reads* its controls and (for the
+//! value-controlled shift `X±⋆`) its source.  For every qudit shared by
+//! the two gates, one of the following must hold — otherwise the oracle
+//! conservatively answers `false`:
+//!
+//! | shared qudit is…           | commutes when…                                        |
+//! |----------------------------|-------------------------------------------------------|
+//! | read by both gates         | always (both act block-diagonally in its basis)       |
+//! | written by both (same target) | the two target operations commute (additive ops always; classical ops by permutation check; unitaries by `d × d` commutator) |
+//! | written by one, a control of the other | the writer's operation is a fixed classical permutation under which the control predicate is invariant |
+//! | written by one, the `X±⋆` source of the other | never claimed (the source value feeds the shift) |
+//!
+//! Gates sharing no qudit always commute.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::commute::{gates_commute, schedule_depth};
+//! use qudit_core::depth::circuit_depth;
+//! use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = Dimension::new(3)?;
+//! // Two gates sharing only a control: they commute…
+//! let a = Gate::controlled(
+//!     SingleQuditOp::Swap(0, 1),
+//!     QuditId::new(1),
+//!     vec![Control::zero(QuditId::new(0))],
+//! );
+//! let b = Gate::controlled(
+//!     SingleQuditOp::Swap(0, 1),
+//!     QuditId::new(2),
+//!     vec![Control::zero(QuditId::new(0))],
+//! );
+//! assert!(gates_commute(d, &a, &b));
+//! // …but writing a qudit the other reads does not commute structurally.
+//! let c = Gate::single(SingleQuditOp::Add(1), QuditId::new(0));
+//! assert!(!gates_commute(d, &a, &c));
+//!
+//! // Scheduling never increases the measured depth.
+//! let mut circuit = Circuit::new(d, 3);
+//! circuit.push(a)?;
+//! circuit.push(b)?;
+//! let scheduled = schedule_depth(&circuit);
+//! assert!(circuit_depth(&scheduled) <= circuit_depth(&circuit));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::circuit::Circuit;
+use crate::control::ControlPredicate;
+use crate::dimension::Dimension;
+use crate::gate::{Gate, GateOp};
+use crate::math::MATRIX_TOLERANCE;
+use crate::ops::{Permutation, SingleQuditOp};
+use crate::pool::WorkStealingPool;
+use crate::qudit::QuditId;
+
+/// Gate count at and above which the
+/// [`ScheduleDepth`](crate::pipeline::ScheduleDepth) pass runs its
+/// dependency scans on a [`WorkStealingPool`] instead of sequentially.
+pub const PARALLEL_SCHEDULE_THRESHOLD: usize = 256;
+
+/// How a gate uses one of its qudits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// The qudit is the gate's target: the only qudit the gate writes.
+    Target,
+    /// The qudit is the source of a value-controlled shift `X±⋆`: read, and
+    /// its *value* selects the shift applied to the target.
+    Source,
+    /// The qudit is a control: read through a basis-diagonal predicate.
+    Control(ControlPredicate),
+}
+
+/// The role a gate assigns to `q`, or `None` when the gate does not touch it.
+fn role_of(gate: &Gate, q: QuditId) -> Option<Role> {
+    if gate.target() == q {
+        return Some(Role::Target);
+    }
+    if let GateOp::AddFrom { source, .. } = gate.op() {
+        if *source == q {
+            return Some(Role::Source);
+        }
+    }
+    gate.controls()
+        .iter()
+        .find(|c| c.qudit == q)
+        .map(|c| Role::Control(c.predicate))
+}
+
+/// Returns `true` when the operation is a translation `|t⟩ ↦ |t + y mod d⟩`
+/// for some (possibly value-dependent) `y` — the abelian subgroup in which
+/// any two target operations commute.
+fn is_additive(op: &GateOp) -> bool {
+    matches!(
+        op,
+        GateOp::AddFrom { .. } | GateOp::Single(SingleQuditOp::Add(_))
+    )
+}
+
+/// The fixed level permutation a gate applies to its target, if it has one
+/// (`X±⋆` has none: its shift depends on the source value; non-classical
+/// unitaries have none either).
+fn target_permutation(gate: &Gate, dimension: Dimension) -> Option<Permutation> {
+    match gate.op() {
+        GateOp::Single(op) => op.to_permutation(dimension).ok(),
+        GateOp::AddFrom { .. } => None,
+    }
+}
+
+/// Returns `true` when the predicate fires on exactly the same levels before
+/// and after the permutation — the condition under which a controlled gate
+/// commutes with a classical gate writing its control qudit.
+fn predicate_invariant_under(
+    predicate: ControlPredicate,
+    permutation: &Permutation,
+    dimension: Dimension,
+) -> bool {
+    dimension
+        .levels()
+        .all(|l| predicate.matches(permutation.apply(l)) == predicate.matches(l))
+}
+
+/// Precomputed per-gate facts the oracle consults for every pair.  The DAG
+/// builder computes these once per gate instead of once per pair, which is
+/// what keeps the oracle cheap on multi-thousand-gate circuits.
+struct GateInfo {
+    /// The gate's qudits (controls, `X±⋆` source, target), as emitted by
+    /// [`Gate::qudits`].
+    support: Vec<QuditId>,
+    /// The fixed level permutation the gate applies to its target, when it
+    /// has one (`None` for `X±⋆`, whose shift depends on the source value,
+    /// and for non-permutation unitaries).
+    permutation: Option<Permutation>,
+    /// Whether the target operation is a translation `|t⟩ ↦ |t + y mod d⟩`.
+    additive: bool,
+}
+
+impl GateInfo {
+    fn of(gate: &Gate, dimension: Dimension) -> Self {
+        GateInfo {
+            support: gate.qudits(),
+            permutation: target_permutation(gate, dimension),
+            additive: is_additive(gate.op()),
+        }
+    }
+}
+
+/// Returns `true` when the two target operations provably commute as
+/// `d × d` operators (sound; partial like the gate-level oracle).
+fn ops_commute(dimension: Dimension, a: &Gate, ia: &GateInfo, b: &Gate, ib: &GateInfo) -> bool {
+    if ia.additive && ib.additive {
+        // Translations mod d form an abelian group; this covers `X±⋆`
+        // against `X±⋆` and `X+y` in either order.
+        return true;
+    }
+    match (&ia.permutation, &ib.permutation) {
+        // Composition equality checked pointwise — no allocation.
+        (Some(pa), Some(pb)) => dimension
+            .levels()
+            .all(|l| pa.apply(pb.apply(l)) == pb.apply(pa.apply(l))),
+        // An `X±⋆` against a non-additive operation: no structural rule.
+        _ if !matches!(a.op(), GateOp::Single(_)) || !matches!(b.op(), GateOp::Single(_)) => false,
+        // At least one side is a genuine (non-permutation) unitary: fall
+        // back to the d × d matrix commutator — still cheap, d is small.
+        _ => {
+            let (GateOp::Single(a), GateOp::Single(b)) = (a.op(), b.op()) else {
+                unreachable!("the arm above filtered non-single operations");
+            };
+            let ma = a.to_matrix(dimension);
+            let mb = b.to_matrix(dimension);
+            (&ma * &mb).approx_eq(&(&mb * &ma), MATRIX_TOLERANCE)
+        }
+    }
+}
+
+/// The oracle on precomputed [`GateInfo`] — the allocation-free hot path
+/// behind [`gates_commute`].
+fn commute_with_info(
+    dimension: Dimension,
+    a: &Gate,
+    ia: &GateInfo,
+    b: &Gate,
+    ib: &GateInfo,
+) -> bool {
+    for &q in &ia.support {
+        if !ib.support.contains(&q) {
+            continue;
+        }
+        let role_a = role_of(a, q).expect("q comes from a's qudit list");
+        let role_b = role_of(b, q).expect("q was found in b's qudit list");
+        let compatible = match (role_a, role_b) {
+            // Read-read: both gates are block-diagonal in q's basis.
+            (Role::Source | Role::Control(_), Role::Source | Role::Control(_)) => true,
+            // Write-write: same target; the target operations must commute
+            // (the controls only ever substitute the identity, which
+            // commutes with everything).
+            (Role::Target, Role::Target) => ops_commute(dimension, a, ia, b, ib),
+            // Write-read through a control: the writer must apply a fixed
+            // classical permutation that the reader's predicate cannot
+            // observe.
+            (Role::Target, Role::Control(predicate)) => ia
+                .permutation
+                .as_ref()
+                .is_some_and(|p| predicate_invariant_under(predicate, p, dimension)),
+            (Role::Control(predicate), Role::Target) => ib
+                .permutation
+                .as_ref()
+                .is_some_and(|p| predicate_invariant_under(predicate, p, dimension)),
+            // Write-read through an `X±⋆` source: the source *value* feeds
+            // the shift, so any write is observable.  No structural rule.
+            (Role::Target, Role::Source) | (Role::Source, Role::Target) => false,
+        };
+        if !compatible {
+            return false;
+        }
+    }
+    true
+}
+
+/// The structural commutation oracle: returns `true` only when `a` and `b`
+/// provably commute as operators on the full register.
+///
+/// The oracle is **sound** (a `true` answer is a proof, checked against the
+/// brute-force matrix commutator by the `commutation` property suite) but
+/// only partially complete: a `false` answer means "no structural rule
+/// applies", not "they do not commute".  See the module docs for the rule
+/// table.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::commute::gates_commute;
+/// use qudit_core::{Control, Dimension, Gate, QuditId, SingleQuditOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(4)?;
+/// // Same target, both additive: X+1 and X+2 always commute.
+/// let a = Gate::single(SingleQuditOp::Add(1), QuditId::new(0));
+/// let b = Gate::single(SingleQuditOp::Add(2), QuditId::new(0));
+/// assert!(gates_commute(d, &a, &b));
+/// // X+2 preserves parity in d = 4, so it commutes with an |o⟩-control.
+/// let odd_controlled = Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::odd(QuditId::new(0))],
+/// );
+/// assert!(gates_commute(d, &b, &odd_controlled));
+/// let plus_one = Gate::single(SingleQuditOp::Add(1), QuditId::new(0));
+/// assert!(!gates_commute(d, &plus_one, &odd_controlled));
+/// # Ok(())
+/// # }
+/// ```
+pub fn gates_commute(dimension: Dimension, a: &Gate, b: &Gate) -> bool {
+    commute_with_info(
+        dimension,
+        a,
+        &GateInfo::of(a, dimension),
+        b,
+        &GateInfo::of(b, dimension),
+    )
+}
+
+/// The dependency DAG of a circuit under the commutation oracle.
+///
+/// Nodes are gate indices (in circuit order); an edge `i → j` (always with
+/// `i < j`) records that gates `i` and `j` share a qudit and the oracle
+/// could not prove them commuting, so any semantics-preserving reordering
+/// must keep `i` before `j`.  Gate pairs *without* an edge (in either
+/// direction, including transitively incomparable pairs) provably commute:
+/// disjoint-support pairs trivially, wire-sharing pairs by the oracle.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::commute::DependencyDag;
+/// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 2);
+/// circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))?;
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+/// let dag = DependencyDag::build(&circuit);
+/// // The X+1 writes the control of the second gate: a real dependency.
+/// assert_eq!(dag.predecessors(1), &[0]);
+/// assert_eq!(dag.critical_path_len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyDag {
+    /// `preds[j]` lists every `i < j` with an edge `i → j`, ascending.
+    preds: Vec<Vec<usize>>,
+}
+
+impl DependencyDag {
+    /// Builds the DAG sequentially.
+    pub fn build(circuit: &Circuit) -> Self {
+        Self::build_inner(circuit, None)
+    }
+
+    /// Builds the DAG with the per-gate dependency scans fanned out over a
+    /// [`WorkStealingPool`].
+    ///
+    /// Each gate's predecessor list depends only on the (read-only) circuit,
+    /// so the parallel build returns exactly the sequential DAG for every
+    /// pool size.
+    pub fn build_on(circuit: &Circuit, pool: &WorkStealingPool) -> Self {
+        Self::build_inner(circuit, Some(pool))
+    }
+
+    fn build_inner(circuit: &Circuit, pool: Option<&WorkStealingPool>) -> Self {
+        let gates = circuit.gates();
+        let dimension = circuit.dimension();
+        let infos: Vec<GateInfo> = gates.iter().map(|g| GateInfo::of(g, dimension)).collect();
+        // Per-wire gate index lists (ascending): only wire-sharing pairs can
+        // fail to commute, so each gate scans just the gates on its wires.
+        let mut wire_gates: Vec<Vec<usize>> = vec![Vec::new(); circuit.width()];
+        for (j, info) in infos.iter().enumerate() {
+            for q in &info.support {
+                wire_gates[q.index()].push(j);
+            }
+        }
+        // Every earlier wire-sharing gate is tested individually: pairwise
+        // commutation is not transitive, so stopping a wire scan at the
+        // first blocker would drop dependencies hidden behind it.  Each
+        // wire's blockers come out ascending; the (at most arity-many)
+        // per-wire lists are then merged, which both sorts and dedups
+        // without any per-candidate membership scan.
+        let predecessors_of = |j: usize| -> Vec<usize> {
+            let mut per_wire: Vec<Vec<usize>> = Vec::with_capacity(infos[j].support.len());
+            for q in &infos[j].support {
+                let blockers: Vec<usize> = wire_gates[q.index()]
+                    .iter()
+                    .take_while(|&&i| i < j)
+                    .filter(|&&i| {
+                        !commute_with_info(dimension, &gates[i], &infos[i], &gates[j], &infos[j])
+                    })
+                    .copied()
+                    .collect();
+                if !blockers.is_empty() {
+                    per_wire.push(blockers);
+                }
+            }
+            match per_wire.len() {
+                0 => Vec::new(),
+                1 => per_wire.pop().expect("one list"),
+                _ => {
+                    let mut merged: Vec<usize> = per_wire.concat();
+                    merged.sort_unstable();
+                    merged.dedup();
+                    merged
+                }
+            }
+        };
+        let preds = match pool.filter(|pool| pool.threads() > 1 && gates.len() > 1) {
+            Some(pool) => pool.map((0..gates.len()).collect(), predecessors_of),
+            None => (0..gates.len()).map(predecessors_of).collect(),
+        };
+        DependencyDag { preds }
+    }
+
+    /// Number of gates (nodes).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns `true` when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The dependency predecessors of gate `j`, ascending.
+    pub fn predecessors(&self, j: usize) -> &[usize] {
+        &self.preds[j]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Length of the longest dependency chain — the depth the circuit could
+    /// reach on hardware with unlimited wires, a lower bound witness for the
+    /// scheduler.
+    pub fn critical_path_len(&self) -> usize {
+        // `height[j]` is the length of the longest chain ending at j,
+        // counting j itself.
+        let mut height = vec![0usize; self.preds.len()];
+        let mut longest = 0;
+        for j in 0..self.preds.len() {
+            height[j] = 1 + self.preds[j].iter().map(|&i| height[i]).max().unwrap_or(0);
+            longest = longest.max(height[j]);
+        }
+        longest
+    }
+}
+
+/// The result of scheduling a circuit: the reordered circuit plus the layer
+/// assignment that witnesses its depth.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The reordered circuit (gates sorted by layer, ties in input order).
+    pub circuit: Circuit,
+    /// `layers[i]` is the 1-based layer of the i-th gate **of the scheduled
+    /// circuit**.
+    pub layers: Vec<usize>,
+}
+
+impl Schedule {
+    /// The number of layers — an upper bound on (and in practice equal to)
+    /// the scheduled circuit's [`circuit_depth`](crate::depth::circuit_depth).
+    pub fn depth(&self) -> usize {
+        self.layers.last().copied().unwrap_or(0)
+    }
+}
+
+/// Per-wire layer occupancy used by the first-fit placement.
+struct Occupancy {
+    wires: Vec<Vec<bool>>,
+}
+
+impl Occupancy {
+    fn new(width: usize) -> Self {
+        Occupancy {
+            wires: vec![Vec::new(); width],
+        }
+    }
+
+    /// The smallest layer `≥ earliest` in which every wire of `support` is
+    /// free; marks it occupied.
+    fn place(&mut self, support: &[QuditId], earliest: usize) -> usize {
+        let mut slot = earliest;
+        'fit: loop {
+            for q in support {
+                if self.wires[q.index()].get(slot).copied().unwrap_or(false) {
+                    slot += 1;
+                    continue 'fit;
+                }
+            }
+            break;
+        }
+        for q in support {
+            let wire = &mut self.wires[q.index()];
+            if wire.len() <= slot {
+                wire.resize(slot + 1, false);
+            }
+            wire[slot] = true;
+        }
+        slot
+    }
+}
+
+/// Reorders a circuit's gates by the given 1-based layer assignment (stable:
+/// ties keep the input order).
+fn assemble_schedule(circuit: &Circuit, layer: Vec<usize>) -> Schedule {
+    let gates = circuit.gates();
+    let mut order: Vec<usize> = (0..gates.len()).collect();
+    order.sort_by_key(|&j| layer[j]); // stable: ties keep input order
+    let mut scheduled = Circuit::new(circuit.dimension(), circuit.width());
+    let mut layers = Vec::with_capacity(order.len());
+    for &j in &order {
+        scheduled
+            .push(gates[j].clone())
+            .expect("gates were valid in the input circuit");
+        layers.push(layer[j]);
+    }
+    Schedule {
+        circuit: scheduled,
+        layers,
+    }
+}
+
+/// Schedules a circuit over a prebuilt [`DependencyDag`].
+///
+/// Gates are processed in circuit order; each is placed in the earliest
+/// layer after all of its dependency predecessors whose wires are all still
+/// free in that layer (first-fit).  The scheduled order is the layer order
+/// with ties broken by the input order, which makes the scheduler:
+///
+/// * **sound** — two gates only swap relative order when the DAG has no
+///   edge between them, i.e. when they provably commute;
+/// * **monotone** — each gate's layer never exceeds its greedy layer in the
+///   input order, so the scheduled circuit's measured depth never exceeds
+///   the input's;
+/// * **idempotent** — rescheduling the output reproduces it exactly (the
+///   depth-regression suite pins this).
+///
+/// [`schedule_depth`] computes the identical schedule without materialising
+/// the DAG; use this entry point when a DAG is already at hand.
+///
+/// # Panics
+///
+/// Panics when the DAG was built from a different circuit (node count
+/// mismatch).
+pub fn schedule_over(circuit: &Circuit, dag: &DependencyDag) -> Schedule {
+    assert_eq!(
+        dag.len(),
+        circuit.len(),
+        "the DAG must come from the scheduled circuit"
+    );
+    let gates = circuit.gates();
+    let mut layer = vec![0usize; gates.len()];
+    let mut occupied = Occupancy::new(circuit.width());
+    for (j, gate) in gates.iter().enumerate() {
+        let earliest = 1 + dag
+            .predecessors(j)
+            .iter()
+            .map(|&i| layer[i])
+            .max()
+            .unwrap_or(0);
+        layer[j] = occupied.place(&gate.qudits(), earliest);
+    }
+    assemble_schedule(circuit, layer)
+}
+
+/// Gate-count granularity of the scheduler's parallel prefix scans: each
+/// block's dependency bounds against the already-layered prefix are
+/// computed gate-parallel, then the block is placed sequentially.
+const SCHEDULE_BLOCK: usize = 512;
+
+/// The fused scheduler: computes exactly the layers of
+/// [`schedule_over`]`(circuit, DependencyDag::build(circuit))` without
+/// materialising the DAG.
+///
+/// Only the *maximum* layer over a gate's non-commuting predecessors
+/// matters, so candidates whose layer cannot raise the running maximum are
+/// skipped before the oracle is consulted — on the lowered synthesis
+/// circuits that prunes the vast majority of pair checks (the dependency
+/// lists are dense, but dominated by low layers).  Scans run backward so
+/// the maximum rises as early as possible.
+fn schedule_layers(circuit: &Circuit, pool: Option<&WorkStealingPool>) -> Vec<usize> {
+    let gates = circuit.gates();
+    let n = gates.len();
+    let dimension = circuit.dimension();
+    let infos: Vec<GateInfo> = gates.iter().map(|g| GateInfo::of(g, dimension)).collect();
+    let mut wire_gates: Vec<Vec<usize>> = vec![Vec::new(); circuit.width()];
+    for (j, info) in infos.iter().enumerate() {
+        for q in &info.support {
+            wire_gates[q.index()].push(j);
+        }
+    }
+
+    let mut layer = vec![0usize; n];
+    let mut occupied = Occupancy::new(circuit.width());
+    let mut block_start = 0;
+    while block_start < n {
+        let block_end = (block_start + SCHEDULE_BLOCK).min(n);
+        // Phase A — for each gate of the block, the largest layer among its
+        // non-commuting dependencies in the already-layered prefix.  The
+        // prefix layers are frozen, so the bounds are independent per gate
+        // and fan out over the pool.
+        let bound_of = |j: usize| -> usize {
+            let mut best = 0usize;
+            for q in &infos[j].support {
+                let wire = &wire_gates[q.index()];
+                let end = wire.partition_point(|&i| i < block_start);
+                for &i in wire[..end].iter().rev() {
+                    if layer[i] > best
+                        && !commute_with_info(dimension, &gates[i], &infos[i], &gates[j], &infos[j])
+                    {
+                        best = layer[i];
+                    }
+                }
+            }
+            best
+        };
+        let bounds: Vec<usize> = match pool.filter(|p| p.threads() > 1 && block_start > 0) {
+            Some(pool) => pool.map((block_start..block_end).collect(), bound_of),
+            None => (block_start..block_end).map(bound_of).collect(),
+        };
+        // Phase B — finish each bound against the block's own earlier gates
+        // (whose layers were just assigned) and place first-fit, in order.
+        for j in block_start..block_end {
+            let mut best = bounds[j - block_start];
+            for q in &infos[j].support {
+                let wire = &wire_gates[q.index()];
+                let start = wire.partition_point(|&i| i < block_start);
+                let end = wire.partition_point(|&i| i < j);
+                for &i in wire[start..end].iter().rev() {
+                    if layer[i] > best
+                        && !commute_with_info(dimension, &gates[i], &infos[i], &gates[j], &infos[j])
+                    {
+                        best = layer[i];
+                    }
+                }
+            }
+            layer[j] = occupied.place(&infos[j].support, best + 1);
+        }
+        block_start = block_end;
+    }
+    layer
+}
+
+/// Reorders commuting gates to minimise depth (sequential DAG build).
+///
+/// The returned circuit implements exactly the same operator as the input —
+/// only gate pairs the oracle proves commuting change relative order — and
+/// its [`circuit_depth`](crate::depth::circuit_depth) never exceeds the
+/// input's.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::commute::schedule_depth;
+/// use qudit_core::depth::circuit_depth;
+/// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 3);
+/// // q0 busy in layer 1; the |0⟩@q0-gate must wait for it…
+/// circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))?;
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+/// // …but this X01 on q1 commutes with both and fits into q1's idle
+/// // layer-1 hole, which the emission order wasted.
+/// circuit.push(Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(1)))?;
+/// assert_eq!(circuit_depth(&circuit), 3);
+/// let scheduled = schedule_depth(&circuit);
+/// assert_eq!(circuit_depth(&scheduled), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_depth(circuit: &Circuit) -> Circuit {
+    assemble_schedule(circuit, schedule_layers(circuit, None)).circuit
+}
+
+/// [`schedule_depth`] with the dependency scans fanned out over a
+/// [`WorkStealingPool`] (block by block; see the module docs).
+///
+/// The dependency bounds depend only on the circuit, never on the worker
+/// count, so the parallel path returns byte-identical schedules for every
+/// pool size — callers may switch between the two freely.
+pub fn schedule_depth_on(circuit: &Circuit, pool: &WorkStealingPool) -> Circuit {
+    assemble_schedule(circuit, schedule_layers(circuit, Some(pool))).circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+    use crate::depth::circuit_depth;
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn q(i: usize) -> QuditId {
+        QuditId::new(i)
+    }
+
+    /// Brute-force ground truth on the full register: apply both orders to
+    /// every basis state of a classical pair.
+    fn classically_commute(d: Dimension, width: usize, a: &Gate, b: &Gate) -> bool {
+        let size = d.register_size(width);
+        let dd = d.as_usize();
+        (0..size).all(|mut index| {
+            let mut digits = vec![0u32; width];
+            for slot in digits.iter_mut().rev() {
+                *slot = (index % dd) as u32;
+                index /= dd;
+            }
+            let mut ab = digits.clone();
+            a.apply_to_basis(&mut ab, d).unwrap();
+            b.apply_to_basis(&mut ab, d).unwrap();
+            let mut ba = digits;
+            b.apply_to_basis(&mut ba, d).unwrap();
+            a.apply_to_basis(&mut ba, d).unwrap();
+            ab == ba
+        })
+    }
+
+    #[test]
+    fn disjoint_gates_commute() {
+        let d = dim(3);
+        let a = Gate::single(SingleQuditOp::Add(1), q(0));
+        let b = Gate::controlled(SingleQuditOp::Swap(0, 1), q(2), vec![Control::zero(q(1))]);
+        assert!(gates_commute(d, &a, &b));
+    }
+
+    #[test]
+    fn shared_controls_commute() {
+        let d = dim(3);
+        let a = Gate::controlled(SingleQuditOp::Swap(0, 1), q(1), vec![Control::zero(q(0))]);
+        let b = Gate::controlled(SingleQuditOp::Add(1), q(2), vec![Control::level(q(0), 2)]);
+        assert!(gates_commute(d, &a, &b));
+        assert!(classically_commute(d, 3, &a, &b));
+    }
+
+    #[test]
+    fn shared_source_and_control_commute() {
+        let d = dim(5);
+        let a = Gate::add_from(q(0), false, q(1), vec![]);
+        let b = Gate::controlled(SingleQuditOp::Add(2), q(2), vec![Control::odd(q(0))]);
+        assert!(gates_commute(d, &a, &b));
+        assert!(classically_commute(d, 3, &a, &b));
+        // Two shifts reading the same source also commute.
+        let c = Gate::add_from(q(0), true, q(2), vec![]);
+        assert!(gates_commute(d, &a, &c));
+        assert!(classically_commute(d, 3, &a, &c));
+    }
+
+    #[test]
+    fn same_target_additive_ops_commute() {
+        let d = dim(5);
+        let a = Gate::single(SingleQuditOp::Add(2), q(0));
+        let b = Gate::add_from(q(1), true, q(0), vec![Control::zero(q(2))]);
+        assert!(gates_commute(d, &a, &b));
+        assert!(classically_commute(d, 3, &a, &b));
+    }
+
+    #[test]
+    fn same_target_classical_ops_checked_by_permutation() {
+        let d = dim(4);
+        // Disjoint transpositions commute…
+        let a = Gate::single(SingleQuditOp::Swap(0, 1), q(0));
+        let b = Gate::single(SingleQuditOp::Swap(2, 3), q(0));
+        assert!(gates_commute(d, &a, &b));
+        assert!(classically_commute(d, 1, &a, &b));
+        // …overlapping ones do not.
+        let c = Gate::single(SingleQuditOp::Swap(1, 2), q(0));
+        assert!(!gates_commute(d, &a, &c));
+        assert!(!classically_commute(d, 1, &a, &c));
+    }
+
+    #[test]
+    fn write_into_control_requires_predicate_invariance() {
+        let d = dim(4);
+        let odd_controlled =
+            Gate::controlled(SingleQuditOp::Swap(0, 1), q(1), vec![Control::odd(q(0))]);
+        // X+2 preserves parity for d = 4.
+        let add_two = Gate::single(SingleQuditOp::Add(2), q(0));
+        assert!(gates_commute(d, &add_two, &odd_controlled));
+        assert!(gates_commute(d, &odd_controlled, &add_two));
+        assert!(classically_commute(d, 2, &add_two, &odd_controlled));
+        // X+1 does not.
+        let add_one = Gate::single(SingleQuditOp::Add(1), q(0));
+        assert!(!gates_commute(d, &add_one, &odd_controlled));
+        assert!(!classically_commute(d, 2, &add_one, &odd_controlled));
+        // Swapping two levels on the same predicate side is invariant: X13
+        // maps odd levels to odd levels.
+        let swap_odd = Gate::single(SingleQuditOp::Swap(1, 3), q(0));
+        assert!(gates_commute(d, &swap_odd, &odd_controlled));
+        assert!(classically_commute(d, 2, &swap_odd, &odd_controlled));
+    }
+
+    #[test]
+    fn write_into_add_from_source_never_claimed() {
+        let d = dim(3);
+        let shift = Gate::add_from(q(0), false, q(1), vec![]);
+        let bump = Gate::single(SingleQuditOp::Add(1), q(0));
+        assert!(!gates_commute(d, &shift, &bump));
+        assert!(!classically_commute(d, 2, &shift, &bump));
+    }
+
+    #[test]
+    fn unitary_target_ops_use_matrix_commutator() {
+        use crate::math::SquareMatrix;
+        let d = dim(3);
+        let x01 = SingleQuditOp::Swap(0, 1).to_matrix(d);
+        let as_unitary = Gate::single(SingleQuditOp::Unitary(x01), q(0));
+        let same = Gate::single(SingleQuditOp::Swap(0, 1), q(0));
+        assert!(gates_commute(d, &as_unitary, &same));
+        let clash = Gate::single(SingleQuditOp::Swap(1, 2), q(0));
+        assert!(!gates_commute(d, &as_unitary, &clash));
+        let identity = Gate::single(SingleQuditOp::Unitary(SquareMatrix::identity(3)), q(0));
+        assert!(gates_commute(d, &identity, &clash));
+    }
+
+    fn sample_circuit() -> Circuit {
+        let d = dim(3);
+        let mut c = Circuit::new(d, 3);
+        c.push(Gate::single(SingleQuditOp::Add(1), q(0))).unwrap();
+        c.push(Gate::controlled(
+            SingleQuditOp::Swap(0, 1),
+            q(1),
+            vec![Control::zero(q(0))],
+        ))
+        .unwrap();
+        c.push(Gate::single(SingleQuditOp::Swap(0, 1), q(1)))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn dag_records_real_dependencies_only() {
+        let c = sample_circuit();
+        let dag = DependencyDag::build(&c);
+        assert_eq!(dag.len(), 3);
+        // Gate 1 reads q0, written by gate 0.
+        assert_eq!(dag.predecessors(1), &[0]);
+        // Gate 2 (X01 on q1) commutes with gate 1 (|0⟩-X01 onto q1): same
+        // target, same operation; and never touches q0.
+        assert_eq!(dag.predecessors(2), &[] as &[usize]);
+        assert_eq!(dag.edge_count(), 1);
+        assert_eq!(dag.critical_path_len(), 2);
+    }
+
+    /// A deterministic pseudo-random circuit over `width ≥ 3` qudits of
+    /// dimension 3, mixing single-qudit ops, zero-/odd-controlled gates and
+    /// value-controlled shifts — the shared workload of the randomized
+    /// DAG/scheduler tests (extend the grammar here, in one place).
+    fn random_circuit(seed: u64, width: usize, gates: usize) -> Circuit {
+        let d = dim(3);
+        let mut c = Circuit::new(d, width);
+        // xorshift needs a nonzero state; nonzero seeds are used as-is.
+        let mut state = if seed == 0 {
+            0x2545_F491_4F6C_DD1D
+        } else {
+            seed
+        };
+        for _ in 0..gates {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let roll = (state >> 32) as usize;
+            let target = q(roll % width);
+            let gate = match roll % 5 {
+                0 => Gate::single(SingleQuditOp::Add(1 + (roll as u32) % 2), target),
+                1 => Gate::single(SingleQuditOp::Swap(0, 1 + (roll as u32 / 7) % 2), target),
+                2 => Gate::controlled(
+                    SingleQuditOp::Add(2),
+                    target,
+                    vec![Control::zero(q((target.index() + 1) % width))],
+                ),
+                3 => Gate::controlled(
+                    SingleQuditOp::Swap(0, 2),
+                    target,
+                    vec![Control::odd(q((target.index() + 2) % width))],
+                ),
+                _ => Gate::add_from(
+                    q((target.index() + 1) % width),
+                    roll.is_multiple_of(2),
+                    target,
+                    vec![],
+                ),
+            };
+            c.push(gate).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn parallel_dag_build_matches_sequential() {
+        let c = random_circuit(0x9E37_79B9, 4, 600);
+        let sequential = DependencyDag::build(&c);
+        for threads in [1, 2, 4] {
+            let pool = WorkStealingPool::with_threads(threads);
+            assert_eq!(
+                DependencyDag::build_on(&c, &pool),
+                sequential,
+                "threads = {threads}"
+            );
+            assert_eq!(schedule_depth_on(&c, &pool), schedule_depth(&c));
+        }
+    }
+
+    #[test]
+    fn scheduling_fills_idle_wire_holes() {
+        let c = sample_circuit();
+        assert_eq!(circuit_depth(&c), 3);
+        let scheduled = schedule_depth(&c);
+        // The trailing X01 slides into q1's idle layer-1 slot.
+        assert_eq!(circuit_depth(&scheduled), 2);
+        // Semantics preserved on every basis state.
+        for a in 0..3 {
+            for b in 0..3 {
+                for t in 0..3 {
+                    assert_eq!(
+                        c.apply_to_basis(&[a, b, t]).unwrap(),
+                        scheduled.apply_to_basis(&[a, b, t]).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_never_increases_depth_and_is_idempotent() {
+        let c = random_circuit(0x1234_5678_9ABC_DEF0, 5, 200);
+        let once = schedule_depth(&c);
+        assert!(circuit_depth(&once) <= circuit_depth(&c));
+        assert_eq!(once.len(), c.len());
+        let twice = schedule_depth(&once);
+        assert_eq!(once, twice, "scheduling must be idempotent");
+    }
+
+    #[test]
+    fn fused_scheduler_matches_dag_scheduler() {
+        // The fused (layer-pruned) path must reproduce the explicit
+        // DAG-based schedule exactly, including across block boundaries.
+        let c = random_circuit(0xFEED_FACE_CAFE_BEEF, 4, 2 * super::SCHEDULE_BLOCK + 37);
+        let via_dag = schedule_over(&c, &DependencyDag::build(&c));
+        let fused = schedule_depth(&c);
+        assert_eq!(via_dag.circuit, fused);
+        let pool = WorkStealingPool::with_threads(4);
+        assert_eq!(schedule_depth_on(&c, &pool), fused);
+    }
+
+    #[test]
+    fn schedule_witness_layers_match_measured_depth() {
+        let c = sample_circuit();
+        let schedule = schedule_over(&c, &DependencyDag::build(&c));
+        assert_eq!(schedule.depth(), circuit_depth(&schedule.circuit));
+        assert!(schedule.layers.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_circuit_schedules_to_itself() {
+        let c = Circuit::new(dim(3), 2);
+        assert_eq!(schedule_depth(&c), c);
+        let schedule = schedule_over(&c, &DependencyDag::build(&c));
+        assert_eq!(schedule.depth(), 0);
+        assert!(DependencyDag::build(&c).is_empty());
+    }
+}

@@ -14,6 +14,9 @@
 //!   classical basis-state evaluation;
 //! * [`lowering`] — lowering of singly-controlled classical gates to the
 //!   elementary G-gate set `{Xij} ∪ {|0⟩-X01}`;
+//! * [`commute`] — the structural commutation oracle, the gate dependency
+//!   DAG and the commutation-aware depth scheduler behind the
+//!   [`pipeline::ScheduleDepth`] pass;
 //! * [`pipeline`] — the [`pipeline::Pass`] trait and
 //!   [`pipeline::PassManager`] composing lowering/optimisation stages with
 //!   per-pass statistics, plus parallel batch compilation
@@ -55,6 +58,7 @@
 mod ancilla;
 pub mod cache;
 mod circuit;
+pub mod commute;
 mod control;
 pub mod depth;
 pub mod diagram;

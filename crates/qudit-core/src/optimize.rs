@@ -353,9 +353,20 @@ mod tests {
     /// A deterministic pseudo-random circuit that mixes cancelling and
     /// non-cancelling runs, long enough to span several windows.
     fn multi_window_circuit(gates: usize) -> Circuit {
+        multi_window_circuit_seeded(gates, 0x2545_F491_4F6C_DD1D)
+    }
+
+    /// [`multi_window_circuit`] with a caller-chosen xorshift seed.
+    fn multi_window_circuit_seeded(gates: usize, seed: u64) -> Circuit {
         let d = dim(3);
         let mut c = Circuit::new(d, 3);
-        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        // xorshift needs a nonzero state; every other seed is used as-is so
+        // the default stream (and the proptest's seed diversity) is kept.
+        let mut state = if seed == 0 {
+            0x2545_F491_4F6C_DD1D
+        } else {
+            seed
+        };
         let mut pending: Vec<Gate> = Vec::new();
         while c.len() < gates {
             // xorshift* step.
@@ -409,6 +420,86 @@ mod tests {
                 cancel_inverse_pairs_on(&c, &pool),
                 sequential,
                 "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_single_pair_straddling_the_window_boundary_cancels() {
+        // Directed coverage of the stitch pass: the *only* cancellable pair
+        // in the circuit sits exactly astride the first window boundary
+        // (gates CANCEL_WINDOW_SIZE−1 and CANCEL_WINDOW_SIZE).  Neither
+        // window can cancel it internally — only the final stitch pass over
+        // the survivors can.
+        let d = dim(5);
+        let mut c = Circuit::new(d, 2);
+        // Window 0 filler: non-cancelling (X+1 is not its own inverse in
+        // d = 5) and on a different qudit than the pair.
+        for _ in 0..CANCEL_WINDOW_SIZE - 1 {
+            c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+                .unwrap();
+        }
+        // The pair: last gate of window 0, first gate of window 1.
+        c.push(Gate::single(SingleQuditOp::Add(2), QuditId::new(1)))
+            .unwrap();
+        c.push(Gate::single(SingleQuditOp::Add(3), QuditId::new(1)))
+            .unwrap();
+        // Window 1 filler.
+        for _ in 0..CANCEL_WINDOW_SIZE / 2 {
+            c.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+                .unwrap();
+        }
+        assert!(c.len() > CANCEL_WINDOW_SIZE, "the pair must straddle");
+
+        let reduced = cancel_inverse_pairs(&c);
+        assert_eq!(
+            reduced.len(),
+            c.len() - 2,
+            "exactly the straddling pair must cancel"
+        );
+        assert!(reduced
+            .gates()
+            .iter()
+            .all(|g| g.target() == QuditId::new(0)));
+        // The parallel windows agree, and the result matches the
+        // single-sweep reference.
+        let pool = WorkStealingPool::with_threads(4);
+        assert_eq!(cancel_inverse_pairs_on(&c, &pool), reduced);
+        let mut single_sweep = Circuit::new(d, 2);
+        for gate in reduce_gates(d, 2, c.gates().iter().cloned()) {
+            single_sweep.push(gate).unwrap();
+        }
+        assert_eq!(reduced, single_sweep);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Windowed == single-sweep for random circuits sized exactly at
+        /// window multiples ±1 — the sizes where an off-by-one in the
+        /// chunking would silently change which pairs become adjacent.
+        #[test]
+        fn windowed_reduction_matches_single_sweep_at_window_multiples(
+            seed in any::<u64>(),
+            multiple in 1usize..=3,
+            delta_roll in 0usize..=2,
+        ) {
+            let delta = delta_roll as isize - 1; // −1, 0, +1 around the multiple
+            let gates = (multiple * CANCEL_WINDOW_SIZE).saturating_add_signed(delta);
+            let c = multi_window_circuit_seeded(gates, seed);
+            prop_assert_eq!(c.len(), gates);
+            let windowed = cancel_inverse_pairs(&c);
+            let mut single_sweep = Circuit::new(c.dimension(), c.width());
+            for gate in reduce_gates(c.dimension(), c.width(), c.gates().iter().cloned()) {
+                single_sweep.push(gate).unwrap();
+            }
+            prop_assert_eq!(
+                &windowed, &single_sweep,
+                "windowed and single-sweep reductions diverge at \
+                 {} windows {:+} (seed {:#x}): {} vs {} gates",
+                multiple, delta, seed, windowed.len(), single_sweep.len()
             );
         }
     }

@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 
 use crate::cache::{CacheCounters, LoweringCache};
 use crate::circuit::Circuit;
+use crate::commute;
 use crate::depth::circuit_depth;
 use crate::error::{QuditError, Result};
 use crate::lowering;
@@ -394,6 +395,8 @@ impl BatchReport {
                         gates_after: 0,
                         g_gates_before: 0,
                         g_gates_after: 0,
+                        depth_before: 0,
+                        depth_after: 0,
                         elapsed: Duration::ZERO,
                         cache: None,
                     });
@@ -408,6 +411,8 @@ impl BatchReport {
                 entry.gates_after += stats.after.gates;
                 entry.g_gates_before += stats.before.g_gates;
                 entry.g_gates_after += stats.after.g_gates;
+                entry.depth_before += stats.before.depth;
+                entry.depth_after += stats.after.depth;
                 entry.elapsed += stats.elapsed;
                 if let Some(cache) = stats.cache {
                     entry
@@ -463,6 +468,12 @@ pub struct MergedPassStats {
     pub g_gates_before: usize,
     /// Total output G-gates across jobs.
     pub g_gates_after: usize,
+    /// Summed input depth across jobs (a batch-level depth trajectory; the
+    /// depth-scheduling experiments report the per-pass reduction from the
+    /// before/after sums).
+    pub depth_before: usize,
+    /// Summed output depth across jobs.
+    pub depth_after: usize,
     /// Total wall-clock time across jobs.
     pub elapsed: Duration,
     /// Summed cache tally (`None` when the batch ran uncached).
@@ -473,11 +484,13 @@ impl fmt::Display for MergedPassStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} jobs, gates {} -> {}, {:.1} ms",
+            "{}: {} jobs, gates {} -> {}, depth {} -> {}, {:.1} ms",
             self.pass,
             self.jobs,
             self.gates_before,
             self.gates_after,
+            self.depth_before,
+            self.depth_after,
             self.elapsed.as_secs_f64() * 1e3,
         )?;
         if let Some(cache) = self.cache.filter(|c| c.total() > 0) {
@@ -838,6 +851,65 @@ where
             Ok(out)
         }
         None => plain(&circuit),
+    }
+}
+
+/// Pass reordering commuting gates to minimise circuit depth (wraps
+/// [`crate::commute::schedule_depth`]).
+///
+/// Only gate pairs the commutation oracle ([`commute::gates_commute`])
+/// proves commuting change relative order, so the output implements exactly
+/// the input's operator; the output's depth never exceeds the input's, and
+/// the pass is idempotent — a second run returns its input unchanged.
+///
+/// Circuits of at least [`commute::PARALLEL_SCHEDULE_THRESHOLD`] gates
+/// build the dependency DAG gate-parallel on a [`WorkStealingPool`] —
+/// unless the calling thread is already a pool worker, where the sequential
+/// build avoids nested pools.  The DAG depends only on the circuit, so
+/// every execution mode produces the identical schedule.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::depth::circuit_depth;
+/// use qudit_core::pipeline::{PassManager, ScheduleDepth};
+/// use qudit_core::{Circuit, Control, Dimension, Gate, QuditId, SingleQuditOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Dimension::new(3)?;
+/// let mut circuit = Circuit::new(d, 3);
+/// circuit.push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))?;
+/// circuit.push(Gate::controlled(
+///     SingleQuditOp::Swap(0, 1),
+///     QuditId::new(1),
+///     vec![Control::zero(QuditId::new(0))],
+/// ))?;
+/// circuit.push(Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(1)))?;
+///
+/// let report = PassManager::new().with_pass(ScheduleDepth).run(circuit)?;
+/// let stats = &report.stats[0];
+/// assert_eq!(stats.pass, "schedule-depth");
+/// assert!(stats.after.depth < stats.before.depth);
+/// assert_eq!(circuit_depth(&report.circuit), stats.after.depth);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleDepth;
+
+impl Pass for ScheduleDepth {
+    fn name(&self) -> &str {
+        "schedule-depth"
+    }
+
+    fn run(&self, circuit: Circuit) -> Result<Circuit> {
+        if circuit.len() >= commute::PARALLEL_SCHEDULE_THRESHOLD && !crate::pool::in_worker() {
+            let pool = WorkStealingPool::new();
+            if pool.threads() > 1 {
+                return Ok(commute::schedule_depth_on(&circuit, &pool));
+            }
+        }
+        Ok(commute::schedule_depth(&circuit))
     }
 }
 

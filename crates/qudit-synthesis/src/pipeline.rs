@@ -19,11 +19,16 @@
 //! * [`Pipeline::standard_verified`] / [`Pipeline::lowering_verified`] —
 //!   the same pipelines with every stage wrapped in
 //!   [`qudit_sim::pipeline::VerifyEquivalence`], so each stage self-checks
-//!   semantics preservation.
+//!   semantics preservation;
+//! * [`Pipeline::standard_scheduled`] /
+//!   [`Pipeline::standard_scheduled_verified`] /
+//!   [`Pipeline::standard_batch_scheduled`] — the standard flow with the
+//!   opt-in commutation-aware depth scheduler
+//!   ([`qudit_core::pipeline::ScheduleDepth`]) as a final stage.
 
 use qudit_core::pipeline::{
     dispatch_lowering_pass, CacheMode, CancelInversePairs, LowerToGGates, Pass, PassContext,
-    PassManager,
+    PassManager, ScheduleDepth,
 };
 use qudit_core::{Circuit, Dimension, QuditError};
 use qudit_sim::pipeline::VerifyEquivalence;
@@ -184,6 +189,68 @@ impl Pipeline {
         Self::standard_batch_with_cache(CacheMode::PerRun)
     }
 
+    /// [`Pipeline::standard`] with the commutation-aware depth scheduler as
+    /// a final stage: macro-gate lowering → G-gate lowering → inverse-pair
+    /// cancellation → [`ScheduleDepth`].
+    ///
+    /// Scheduling is opt-in (the paper reports gate counts on the
+    /// [`Pipeline::standard`] output; this preset additionally minimises
+    /// depth without changing any gate, only their order).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::depth::circuit_depth;
+    /// use qudit_core::Dimension;
+    /// use qudit_synthesis::{KToffoli, Pipeline};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dimension = Dimension::new(3)?;
+    /// let synthesis = KToffoli::new(dimension, 4)?.synthesize()?;
+    /// let width = synthesis.layout().width;
+    /// let plain = Pipeline::standard(dimension, width)
+    ///     .run(synthesis.circuit().clone())?;
+    /// let scheduled = Pipeline::standard_scheduled(dimension, width)
+    ///     .run(synthesis.circuit().clone())?;
+    /// // Same gates (multiset), never deeper.
+    /// assert_eq!(scheduled.circuit.len(), plain.circuit.len());
+    /// assert!(circuit_depth(&scheduled.circuit) <= circuit_depth(&plain.circuit));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn standard_scheduled(dimension: Dimension, width: usize) -> PassManager {
+        Self::standard(dimension, width).with_pass(ScheduleDepth)
+    }
+
+    /// [`Pipeline::standard_scheduled`] with every stage (including the
+    /// scheduler) wrapped in [`VerifyEquivalence`] on the
+    /// [`SimBackend::Auto`] backend.
+    pub fn standard_scheduled_verified(dimension: Dimension, width: usize) -> PassManager {
+        Self::standard_scheduled_verified_with_backend(dimension, width, SimBackend::Auto)
+    }
+
+    /// [`Pipeline::standard_scheduled_verified`] with an explicit simulation
+    /// backend for every verification wrapper.
+    pub fn standard_scheduled_verified_with_backend(
+        dimension: Dimension,
+        width: usize,
+        backend: SimBackend,
+    ) -> PassManager {
+        VerifyEquivalence::wrap_manager_with_backend(
+            Self::standard_scheduled(dimension, width),
+            backend,
+        )
+    }
+
+    /// [`Pipeline::standard_batch`] with the depth scheduler as a final
+    /// stage — the configuration the E10/E11 depth columns are produced in.
+    ///
+    /// Like [`Pipeline::standard_batch`], the manager is shape-agnostic and
+    /// uses a per-run lowering cache.
+    pub fn standard_batch_scheduled() -> PassManager {
+        Self::standard_batch_with_cache(CacheMode::PerRun).with_pass(ScheduleDepth)
+    }
+
     /// [`Pipeline::standard_batch`] with an explicit [`CacheMode`].
     ///
     /// The given mode is installed verbatim on the returned manager — a
@@ -287,6 +354,65 @@ mod tests {
         let off = Pipeline::standard_batch_with_cache(CacheMode::Off);
         let report = off.run(synthesis.circuit().clone()).unwrap();
         assert!(report.stats.iter().all(|s| s.cache.is_none()));
+    }
+
+    #[test]
+    fn scheduled_pipeline_preserves_gates_and_never_deepens() {
+        use qudit_core::depth::circuit_depth;
+        for d in [3u32, 4] {
+            let synthesis = KToffoli::new(dim(d), 4).unwrap().synthesize().unwrap();
+            let width = synthesis.layout().width;
+            let plain = Pipeline::standard(dim(d), width)
+                .run(synthesis.circuit().clone())
+                .unwrap();
+            let scheduled = Pipeline::standard_scheduled(dim(d), width)
+                .run(synthesis.circuit().clone())
+                .unwrap();
+            assert_eq!(scheduled.stats.len(), 4);
+            assert_eq!(scheduled.stats[3].pass, "schedule-depth");
+            // The scheduler permutes, never rewrites: same multiset of gates.
+            assert_eq!(scheduled.circuit.len(), plain.circuit.len());
+            assert_eq!(
+                scheduled.stats[3].before.gates,
+                scheduled.stats[3].after.gates
+            );
+            assert!(
+                circuit_depth(&scheduled.circuit) <= circuit_depth(&plain.circuit),
+                "d={d}: scheduling must not deepen the circuit"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_verified_pipeline_accepts_the_constructions() {
+        let synthesis = KToffoli::new(dim(3), 3).unwrap().synthesize().unwrap();
+        let width = synthesis.layout().width;
+        for backend in [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto] {
+            let manager =
+                Pipeline::standard_scheduled_verified_with_backend(dim(3), width, backend);
+            let report = manager.run(synthesis.circuit().clone()).unwrap();
+            assert!(report.circuit.gates().iter().all(Gate::is_g_gate));
+            assert_eq!(
+                report.stats.last().unwrap().pass,
+                "verify(schedule-depth)",
+                "backend {backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scheduled_preset_appends_the_scheduler() {
+        let manager = Pipeline::standard_batch_scheduled();
+        assert_eq!(
+            manager.pass_names(),
+            vec![
+                "lower-to-elementary",
+                "lower-to-g-gates",
+                "cancel-inverse-pairs",
+                "schedule-depth"
+            ]
+        );
+        assert!(matches!(manager.cache_mode(), CacheMode::PerRun));
     }
 
     #[test]
