@@ -1,15 +1,16 @@
 //! Criterion bench: batch compilation of the k-Toffoli sweep — sequential
-//! vs. parallel (`run_batch`) vs. cached vs. parallel+cached.
+//! vs. parallel (`Compiler::compile_batch`) vs. cached vs. parallel+cached.
 //!
 //! The workload is the E11-style sweep: the macro circuits of several
 //! `(d, k)` k-Toffoli syntheses, compiled through the full standard flow
-//! (lower-to-elementary → lower-to-g-gates → cancel-inverse-pairs).
+//! (lower-to-elementary → lower-to-g-gates → cancel-inverse-pairs) as
+//! configured by `CompileOptions`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qudit_core::pipeline::{CacheMode, PassManager};
+use qudit_core::pipeline::CacheMode;
 use qudit_core::pool::WorkStealingPool;
 use qudit_core::{Circuit, Dimension};
-use qudit_synthesis::{KToffoli, Pipeline};
+use qudit_synthesis::{CompileOptions, Compiler, KToffoli};
 
 /// The benchmark's compilation jobs: one macro circuit per `(d, k)`.
 fn jobs() -> Vec<Circuit> {
@@ -30,15 +31,15 @@ fn jobs() -> Vec<Circuit> {
     out
 }
 
-/// The standard flow without a cache (shape-agnostic so one manager covers
+/// The standard flow without a cache (shape-agnostic so one compiler covers
 /// the whole sweep).
-fn uncached_manager() -> PassManager {
-    Pipeline::standard_batch().with_cache(CacheMode::Off)
+fn uncached_compiler() -> Compiler {
+    CompileOptions::new().compiler()
 }
 
 fn bench_sequential(c: &mut Criterion) {
     let jobs = jobs();
-    let manager = uncached_manager();
+    let compiler = uncached_compiler();
     let mut group = c.benchmark_group("batch_compilation");
     group.bench_with_input(
         BenchmarkId::from_parameter("sequential"),
@@ -46,7 +47,7 @@ fn bench_sequential(c: &mut Criterion) {
         |b, jobs| {
             b.iter(|| {
                 jobs.iter()
-                    .map(|job| manager.run(job.clone()).unwrap().circuit.len())
+                    .map(|job| compiler.compile(job).unwrap().circuit.len())
                     .sum::<usize>()
             })
         },
@@ -56,16 +57,16 @@ fn bench_sequential(c: &mut Criterion) {
 
 fn bench_parallel(c: &mut Criterion) {
     let jobs = jobs();
-    let manager = uncached_manager();
-    let pool = WorkStealingPool::new();
+    let compiler = uncached_compiler();
+    let threads = WorkStealingPool::new().threads();
     let mut group = c.benchmark_group("batch_compilation");
     group.bench_with_input(
-        BenchmarkId::from_parameter(format!("parallel_t{}", pool.threads())),
+        BenchmarkId::from_parameter(format!("parallel_t{threads}")),
         &jobs,
         |b, jobs| {
             b.iter(|| {
-                manager
-                    .run_batch_on(jobs.clone(), &pool)
+                compiler
+                    .compile_batch(jobs)
                     .unwrap()
                     .circuits()
                     .map(Circuit::len)
@@ -78,12 +79,12 @@ fn bench_parallel(c: &mut Criterion) {
 
 fn bench_cached(c: &mut Criterion) {
     let jobs = jobs();
-    let manager = Pipeline::standard_batch(); // per-run cache
+    let compiler = CompileOptions::new().cache(CacheMode::PerRun).compiler();
     let mut group = c.benchmark_group("batch_compilation");
     group.bench_with_input(BenchmarkId::from_parameter("cached"), &jobs, |b, jobs| {
         b.iter(|| {
             jobs.iter()
-                .map(|job| manager.run(job.clone()).unwrap().circuit.len())
+                .map(|job| compiler.compile(job).unwrap().circuit.len())
                 .sum::<usize>()
         })
     });
@@ -92,19 +93,20 @@ fn bench_cached(c: &mut Criterion) {
 
 fn bench_parallel_cached(c: &mut Criterion) {
     let jobs = jobs();
-    let pool = WorkStealingPool::new();
+    let threads = WorkStealingPool::new().threads();
     let mut group = c.benchmark_group("batch_compilation");
     group.bench_with_input(
-        BenchmarkId::from_parameter(format!("parallel_cached_t{}", pool.threads())),
+        BenchmarkId::from_parameter(format!("parallel_cached_t{threads}")),
         &jobs,
         |b, jobs| {
             b.iter(|| {
                 // A shared cache reuses gadget expansions across the whole
                 // sweep (same dimension ⇒ same canonical gadgets).
-                let manager = Pipeline::standard_batch()
-                    .with_cache(CacheMode::Shared(qudit_core::cache::LoweringCache::shared()));
-                manager
-                    .run_batch_on(jobs.clone(), &pool)
+                let compiler = CompileOptions::new()
+                    .cache(CacheMode::Shared(qudit_core::cache::LoweringCache::shared()))
+                    .compiler();
+                compiler
+                    .compile_batch(jobs)
                     .unwrap()
                     .circuits()
                     .map(Circuit::len)

@@ -13,20 +13,18 @@ use qudit_core::depth::circuit_depth;
 use qudit_core::pipeline::{Pass, ScheduleDepth};
 use qudit_core::pool::WorkStealingPool;
 use qudit_core::{Circuit, Dimension};
-use qudit_synthesis::{KToffoli, Pipeline};
+use qudit_synthesis::{CompileOptions, KToffoli};
 
 /// The scheduler's inputs: the optimised (cancelled, unscheduled) G-gate
 /// circuits of an E10-style sweep.
 fn lowered_jobs() -> Vec<(String, Circuit)> {
+    let compiler = CompileOptions::new().compiler();
     let mut out = Vec::new();
     for &d in &[3u32, 4] {
         for &k in &[4usize, 8] {
             let dimension = Dimension::new(d).unwrap();
             let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
-            let width = synthesis.layout().width;
-            let circuit = Pipeline::standard(dimension, width)
-                .run_circuit(synthesis.circuit().clone())
-                .unwrap();
+            let circuit = compiler.compile(synthesis.circuit()).unwrap().circuit;
             out.push((format!("d{d}_k{k}"), circuit));
         }
     }

@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qudit_core::math::{Complex, SquareMatrix};
 use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
 use qudit_sim::{simulate_basis, SimBackend, StateVector};
-use qudit_synthesis::{KToffoli, Pipeline};
+use qudit_synthesis::{CompileOptions, KToffoli};
 
 /// The compiled (pure classical) G-gate circuit of a `(d=3, k)` k-Toffoli,
 /// E10-style: lowered through the standard flow including cancellation.
@@ -29,9 +29,12 @@ fn classical_job(k: usize) -> Circuit {
     let dimension = Dimension::new(3).unwrap();
     let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
     let width = synthesis.layout().width;
-    Pipeline::standard(dimension, width)
-        .run_circuit(synthesis.circuit().clone())
+    CompileOptions::new()
+        .shape(dimension, width)
+        .compiler()
+        .compile(synthesis.circuit())
         .unwrap()
+        .circuit
 }
 
 /// A qutrit Fourier matrix — the non-classical suffix of the mixed workload.

@@ -8,6 +8,7 @@ use qudit_baselines::{
     clean_ancilla_count, di_wei_cubic_count, exponential_gate_count, yeh_wetering_clifford_t_count,
     CleanAncillaMct, CliffordTCostModel,
 };
+use qudit_core::pipeline::CacheMode;
 use qudit_core::{Dimension, QuditId, SingleQuditOp};
 use qudit_reversible::{lower_bound, ReversibleFunction, ReversibleSynthesizer};
 use qudit_sim::equivalence::{
@@ -16,7 +17,8 @@ use qudit_sim::equivalence::{
 use qudit_sim::random::random_unitary;
 use qudit_sim::SimBackend;
 use qudit_synthesis::{
-    gadgets, ladders, ControlledUnitary, KToffoli, MultiControlledGate, Pipeline,
+    gadgets, ladders, CompileOptions, CompileResult, Compiler, ControlledUnitary, KToffoli,
+    MultiControlledGate, OptLevel,
 };
 use qudit_unitary::UnitarySynthesizer;
 use rand::rngs::StdRng;
@@ -26,6 +28,25 @@ use crate::tables::{fmt_f64, Table};
 
 fn dim(d: u32) -> Dimension {
     Dimension::new(d).expect("valid dimension")
+}
+
+/// The lowering-only (`O0`) compiler the G-gate-count experiments measure
+/// with — the configuration the paper reports.
+fn lowering_compiler(dimension: Dimension, width: usize) -> Compiler {
+    CompileOptions::new()
+        .opt_level(OptLevel::O0)
+        .shape(dimension, width)
+        .compiler()
+}
+
+/// The scheduled, per-run-cached compiler of the E10/E11 sweeps (the
+/// standard flow plus depth scheduling, shape-agnostic for heterogeneous
+/// batches).
+fn scheduled_sweep_compiler() -> Compiler {
+    CompileOptions::new()
+        .schedule(true)
+        .cache(CacheMode::PerRun)
+        .compiler()
 }
 
 /// Parameter scale of the experiment suite.
@@ -176,9 +197,10 @@ pub fn e2_gadgets(scale: Scale) -> Table {
         circuit.extend_gates(gates).unwrap();
         let spec = MctSpec::toffoli(vec![QuditId::new(0), QuditId::new(1)], QuditId::new(2));
         let verified = verify_mct_exhaustive(&circuit, &spec).unwrap().is_pass();
-        let g = Pipeline::lowering(dimension, width)
-            .run_circuit(circuit.clone())
-            .unwrap();
+        let g = lowering_compiler(dimension, width)
+            .compile(&circuit)
+            .unwrap()
+            .circuit;
         table.push_row(vec![
             d.to_string(),
             figure.to_string(),
@@ -263,9 +285,9 @@ pub fn sweep_jobs(sweep: &[(u32, usize)]) -> Vec<qudit_core::Circuit> {
 /// the depth columns report.
 ///
 /// The whole sweep is compiled concurrently through
-/// [`PassManager::run_batch`](qudit_core::pipeline::PassManager::run_batch)
-/// on the cached, scheduled batch pipeline; the table is identical to
-/// compiling each job sequentially (wall times aside).
+/// [`Compiler::compile_batch`] on the scheduled, per-run-cached compiler;
+/// the table is identical to compiling each job sequentially (wall times
+/// aside).
 pub fn e10_peephole(scale: Scale) -> Table {
     let sweep = e10_sweep(scale);
     let syntheses = sweep_syntheses(&sweep);
@@ -273,19 +295,19 @@ pub fn e10_peephole(scale: Scale) -> Table {
         .iter()
         .map(|synthesis| synthesis.circuit().clone())
         .collect();
-    let batch = Pipeline::standard_batch_scheduled()
-        .run_batch(jobs)
+    let batch = scheduled_sweep_compiler()
+        .compile_batch(&jobs)
         .expect("the k-Toffoli sweep compiles");
-    e10_table_from_reports(&sweep, &syntheses, &batch.reports)
+    e10_table_from_results(&sweep, &syntheses, &batch.results)
 }
 
-/// Renders the E10 table from per-job syntheses and pipeline reports (one of
+/// Renders the E10 table from per-job syntheses and compile results (one of
 /// each per sweep entry).  Exposed so tests can compare the batch path
 /// against a sequentially compiled sweep.
-pub fn e10_table_from_reports(
+pub fn e10_table_from_results(
     sweep: &[(u32, usize)],
     syntheses: &[qudit_synthesis::MctSynthesis],
-    reports: &[qudit_core::pipeline::PipelineReport],
+    results: &[CompileResult],
 ) -> Table {
     let mut table = Table::new(
         "E10 — peephole optimisation and depth scheduling of the lowered k-Toffoli circuits",
@@ -302,7 +324,7 @@ pub fn e10_table_from_reports(
             "verified",
         ],
     );
-    for ((&(d, k), synthesis), report) in sweep.iter().zip(syntheses).zip(reports) {
+    for ((&(d, k), synthesis), report) in sweep.iter().zip(syntheses).zip(results) {
         let cancel = report
             .stats_for("cancel-inverse-pairs")
             .expect("the scheduled pipeline cancels inverse pairs");
@@ -368,24 +390,21 @@ pub fn e11_sweep(scale: Scale) -> Vec<(u32, usize)> {
 /// depth-in/depth-out columns are the depth trajectory of the new
 /// scheduling stage.
 ///
-/// The sweep is compiled concurrently through `run_batch` with a per-job
-/// lowering cache, so the cache columns are deterministic and the table
-/// matches the sequential path (wall times aside).
+/// The sweep is compiled concurrently through [`Compiler::compile_batch`]
+/// with a per-job lowering cache, so the cache columns are deterministic
+/// and the table matches the sequential path (wall times aside).
 pub fn e11_pipeline(scale: Scale) -> Table {
     let sweep = e11_sweep(scale);
-    let batch = Pipeline::standard_batch_scheduled()
-        .run_batch(sweep_jobs(&sweep))
+    let batch = scheduled_sweep_compiler()
+        .compile_batch(&sweep_jobs(&sweep))
         .expect("the k-Toffoli sweep compiles");
-    e11_table_from_reports(&sweep, &batch.reports)
+    e11_table_from_results(&sweep, &batch.results)
 }
 
-/// Renders the E11 table from per-job pipeline reports (one per sweep
+/// Renders the E11 table from per-job compile results (one per sweep
 /// entry).  Exposed so tests can compare the batch path against a
 /// sequentially compiled sweep.
-pub fn e11_table_from_reports(
-    sweep: &[(u32, usize)],
-    reports: &[qudit_core::pipeline::PipelineReport],
-) -> Table {
+pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult]) -> Table {
     let mut table = Table::new(
         "E11 — standard pipeline per-pass statistics (macro -> elementary -> G -> optimised)",
         &[
@@ -402,7 +421,7 @@ pub fn e11_table_from_reports(
             "elapsed µs",
         ],
     );
-    for (&(d, k), report) in sweep.iter().zip(reports) {
+    for (&(d, k), report) in sweep.iter().zip(results) {
         // The backend the Auto classicality scan picks for this job's
         // compiled circuit — what any downstream re-simulation (fidelity
         // checks, `VerifyEquivalence`) of the sweep would run on.
@@ -558,9 +577,10 @@ pub fn e3_ablation(scale: Scale) -> Table {
             };
             let mut ladder_circuit = qudit_core::Circuit::new(dimension, width);
             ladder_circuit.extend_gates(ladder_gates).unwrap();
-            let ladder_g = Pipeline::lowering(dimension, width)
-                .run_circuit(ladder_circuit)
+            let ladder_g = lowering_compiler(dimension, width)
+                .compile(&ladder_circuit)
                 .unwrap()
+                .circuit
                 .len();
 
             // Theorem version (note: for odd d the ladder implements X+1 and
@@ -1105,24 +1125,28 @@ mod tests {
 
     #[test]
     fn e11_batch_matches_sequential_and_reports_cache_hits() {
-        use qudit_core::pool::WorkStealingPool;
+        use qudit_synthesis::Threads;
 
         let sweep = e11_sweep(Scale::Quick);
         let jobs = sweep_jobs(&sweep);
-        let manager = Pipeline::standard_batch_scheduled();
 
         // Sequential reference: one job at a time, in order.
-        let sequential: Vec<_> = jobs
+        let compiler = scheduled_sweep_compiler();
+        let sequential: Vec<CompileResult> = jobs
             .iter()
-            .map(|job| manager.run(job.clone()).unwrap())
+            .map(|job| compiler.compile(job).unwrap())
             .collect();
         // Batch path, forced multi-threaded.
-        let batch = manager
-            .run_batch_on(jobs, &WorkStealingPool::with_threads(4))
+        let batch = CompileOptions::new()
+            .schedule(true)
+            .cache(CacheMode::PerRun)
+            .threads(Threads::Fixed(4))
+            .compiler()
+            .compile_batch(&jobs)
             .unwrap();
 
-        let sequential_table = e11_table_from_reports(&sweep, &sequential);
-        let batch_table = e11_table_from_reports(&sweep, &batch.reports);
+        let sequential_table = e11_table_from_results(&sweep, &sequential);
+        let batch_table = e11_table_from_results(&sweep, &batch.results);
         assert_eq!(
             without_elapsed(&sequential_table),
             without_elapsed(&batch_table),
@@ -1176,22 +1200,26 @@ mod tests {
 
     #[test]
     fn e10_batch_matches_sequential() {
-        use qudit_core::pool::WorkStealingPool;
+        use qudit_synthesis::Threads;
 
         let sweep = e10_sweep(Scale::Quick);
         let syntheses = sweep_syntheses(&sweep);
         let jobs = sweep_jobs(&sweep);
-        let manager = Pipeline::standard_batch_scheduled();
-        let sequential: Vec<_> = jobs
+        let compiler = scheduled_sweep_compiler();
+        let sequential: Vec<CompileResult> = jobs
             .iter()
-            .map(|job| manager.run(job.clone()).unwrap())
+            .map(|job| compiler.compile(job).unwrap())
             .collect();
-        let batch = manager
-            .run_batch_on(jobs, &WorkStealingPool::with_threads(4))
+        let batch = CompileOptions::new()
+            .schedule(true)
+            .cache(CacheMode::PerRun)
+            .threads(Threads::Fixed(4))
+            .compiler()
+            .compile_batch(&jobs)
             .unwrap();
         assert_eq!(
-            e10_table_from_reports(&sweep, &syntheses, &sequential).rows,
-            e10_table_from_reports(&sweep, &syntheses, &batch.reports).rows,
+            e10_table_from_results(&sweep, &syntheses, &sequential).rows,
+            e10_table_from_results(&sweep, &syntheses, &batch.results).rows,
             "batch compilation must reproduce the sequential E10 table"
         );
     }

@@ -87,6 +87,12 @@ pub enum QuditError {
         /// Description of the failure.
         reason: String,
     },
+    /// A pipeline description named a stage that no pass factory is
+    /// registered for (see [`crate::pipeline::PassRegistry`]).
+    UnknownPass {
+        /// The unresolvable stage name.
+        stage: String,
+    },
 }
 
 impl fmt::Display for QuditError {
@@ -155,6 +161,9 @@ impl fmt::Display for QuditError {
             QuditError::PassFailed { pass, reason } => {
                 write!(f, "pass '{pass}' failed: {reason}")
             }
+            QuditError::UnknownPass { stage } => {
+                write!(f, "no pass is registered for pipeline stage '{stage}'")
+            }
         }
     }
 }
@@ -207,6 +216,9 @@ mod tests {
             QuditError::PassFailed {
                 pass: "lower-to-g-gates".into(),
                 reason: "not classical".into(),
+            },
+            QuditError::UnknownPass {
+                stage: "route-qudits".into(),
             },
         ];
         for error in errors {

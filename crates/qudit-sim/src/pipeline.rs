@@ -142,7 +142,12 @@ impl VerifyEquivalence {
         }
     }
 
-    fn check_equivalent(&self, before: &Circuit, after: &Circuit) -> Result<()> {
+    fn check_equivalent(
+        &self,
+        before: &Circuit,
+        after: &Circuit,
+        pinned_pool: Option<WorkStealingPool>,
+    ) -> Result<()> {
         if before.dimension() != after.dimension() || before.width() != after.width() {
             return Err(self.fail(format!(
                 "pass changed the register: d={}, width={} -> d={}, width={}",
@@ -158,12 +163,14 @@ impl VerifyEquivalence {
             if size <= self.max_exhaustive_states {
                 // One sweep over the basis yields the witness directly.
                 // Each state checks independently, so large sweeps fan out
-                // over the pool (never nested inside a batch worker — see
-                // qudit_core::pool); the witness (if any) is the first in
-                // basis order regardless of which worker found it.  Small
-                // sweeps stream the iterator without collecting.
+                // over the run's pinned pool — or an environment-sized one
+                // when the manager pinned none — never nested inside a
+                // batch worker (see qudit_core::pool); the witness (if any)
+                // is the first in basis order regardless of which worker
+                // found it.  Small sweeps stream the iterator without
+                // collecting.
                 let parallel = size >= PARALLEL_VERIFY_THRESHOLD && !qudit_core::pool::in_worker();
-                let pool = parallel.then(WorkStealingPool::new);
+                let pool = parallel.then(|| pinned_pool.unwrap_or_default());
                 match pool.filter(|pool| pool.threads() > 1) {
                     Some(pool) => {
                         let states: Vec<Vec<u32>> =
@@ -296,15 +303,16 @@ impl Pass for VerifyEquivalence {
 
     fn run(&self, circuit: Circuit) -> Result<Circuit> {
         let output = self.inner.run(circuit.clone())?;
-        self.check_equivalent(&circuit, &output)?;
+        self.check_equivalent(&circuit, &output, None)?;
         Ok(output)
     }
 
     fn run_with(&self, circuit: Circuit, ctx: &mut PassContext) -> Result<Circuit> {
         // Forward the context so the wrapped pass keeps its cache access
-        // (and its cache statistics) under verification.
+        // (and its cache statistics) under verification, and so the
+        // exhaustive sweep honours the run's pinned worker pool.
         let output = self.inner.run_with(circuit.clone(), ctx)?;
-        self.check_equivalent(&circuit, &output)?;
+        self.check_equivalent(&circuit, &output, ctx.pool())?;
         Ok(output)
     }
 }

@@ -18,7 +18,9 @@
 //!
 //! The public entry points are [`KToffoli`], [`MultiControlledGate`],
 //! [`ControlledUnitary`] and the in-place emitters
-//! [`emit_multi_controlled`] / [`emit_controlled_unitary`].
+//! [`emit_multi_controlled`] / [`emit_controlled_unitary`]; compilation of
+//! the synthesised circuits goes through the [`Compiler`] facade configured
+//! by [`CompileOptions`] (see [`compiler`]).
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiler;
 mod controlled_unitary;
 mod error;
 pub mod gadgets;
@@ -53,6 +56,9 @@ pub mod pipeline;
 pub mod pk;
 mod resources;
 
+pub use compiler::{
+    BatchResult, CompileOptions, CompileResult, Compiler, OptLevel, Threads, Verify, VerifyOutcome,
+};
 pub use controlled_unitary::{
     emit_controlled_unitary, ControlledUnitary, ControlledUnitaryLayout, ControlledUnitarySynthesis,
 };

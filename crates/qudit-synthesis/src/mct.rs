@@ -8,13 +8,14 @@
 //!   with arbitrary control levels; used by the unitary-synthesis and
 //!   reversible-function crates.
 
-use qudit_core::pipeline::{PassManager, PipelineReport};
+use qudit_core::pipeline::PassManager;
 use qudit_core::{AncillaKind, AncillaUsage, Circuit, Dimension, Gate, QuditId, SingleQuditOp};
 
+use crate::compiler::{CompileOptions, CompileResult, OptLevel};
 use crate::error::{Result, SynthesisError};
 use crate::mct_even::mct_even_gates;
 use crate::mct_odd::mct_odd_gates;
-use crate::pipeline::{LowerToElementary, Pipeline};
+use crate::pipeline::LowerToElementary;
 use crate::resources::Resources;
 
 /// Where each logical role of a multi-controlled gate lives in the
@@ -71,30 +72,39 @@ impl MctSynthesis {
     }
 
     /// The circuit lowered to the G-gate set `{Xij} ∪ {|0⟩-X01}` (the
-    /// [`Pipeline::lowering`] stages, without cancellation — the level the
-    /// paper's gate counts are reported at).
+    /// [`OptLevel::O0`] lowering stages, without cancellation — the level
+    /// the paper's gate counts are reported at).
     ///
     /// # Errors
     ///
     /// Propagates lowering errors (they cannot occur for circuits produced by
     /// this crate's constructions).
     pub fn g_gate_circuit(&self) -> Result<Circuit> {
-        Pipeline::lowering(self.circuit.dimension(), self.circuit.width())
-            .run_circuit(self.circuit.clone())
+        let compiler = CompileOptions::new()
+            .opt_level(OptLevel::O0)
+            .shape(self.circuit.dimension(), self.circuit.width())
+            .compiler();
+        compiler
+            .compile(&self.circuit)
+            .map(|result| result.circuit)
             .map_err(SynthesisError::from)
     }
 
-    /// Runs the full [`Pipeline::standard`] flow (lowering plus inverse-pair
-    /// cancellation) on the synthesised circuit, returning the optimised
-    /// G-gate circuit together with per-pass statistics.
+    /// Runs the standard flow (lowering plus inverse-pair cancellation) on
+    /// the synthesised circuit through the [`crate::compiler::Compiler`]
+    /// facade, returning the unified [`CompileResult`] (optimised G-gate
+    /// circuit, per-pass statistics, depth, cache counters).
     ///
     /// # Errors
     ///
     /// Propagates pipeline errors (they cannot occur for circuits produced
     /// by this crate's constructions).
-    pub fn compile(&self) -> Result<PipelineReport> {
-        Pipeline::standard(self.circuit.dimension(), self.circuit.width())
-            .run(self.circuit.clone())
+    pub fn compile(&self) -> Result<CompileResult> {
+        let compiler = CompileOptions::new()
+            .shape(self.circuit.dimension(), self.circuit.width())
+            .compiler();
+        compiler
+            .compile(&self.circuit)
             .map_err(SynthesisError::from)
     }
 }

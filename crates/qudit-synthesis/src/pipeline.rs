@@ -1,4 +1,4 @@
-//! Pipeline presets reproducing the paper's compilation flow.
+//! The macro-gate lowering pass and the legacy pipeline presets.
 //!
 //! The paper compiles a multi-controlled gate in stages: synthesis emits a
 //! *macro circuit* (gates with at most two controls), which is lowered to
@@ -13,27 +13,22 @@
 //! ```
 //!
 //! * [`LowerToElementary`] — wraps [`crate::lower::lower_to_elementary`];
-//! * [`Pipeline::standard`] — the full flow above;
-//! * [`Pipeline::lowering`] — the flow without the final cancellation (the
-//!   configuration the paper's gate counts are reported in);
-//! * [`Pipeline::standard_verified`] / [`Pipeline::lowering_verified`] —
-//!   the same pipelines with every stage wrapped in
-//!   [`qudit_sim::pipeline::VerifyEquivalence`], so each stage self-checks
-//!   semantics preservation;
-//! * [`Pipeline::standard_scheduled`] /
-//!   [`Pipeline::standard_scheduled_verified`] /
-//!   [`Pipeline::standard_batch_scheduled`] — the standard flow with the
-//!   opt-in commutation-aware depth scheduler
-//!   ([`qudit_core::pipeline::ScheduleDepth`]) as a final stage.
+//!   registered as the `lower-to-elementary` stage of
+//!   [`crate::compiler::registry`].
+//! * [`Pipeline::standard`] and the rest of the `Pipeline::standard*`
+//!   family — **deprecated** preset shims over the typed
+//!   [`CompileOptions`] builder (each
+//!   shim's documentation shows its builder equivalent);
+//! * [`Pipeline::lowering`] / [`Pipeline::lowering_verified`] — the flow
+//!   without the final cancellation (the configuration the paper's gate
+//!   counts are reported in), equivalent to
+//!   [`OptLevel::O0`](crate::compiler::OptLevel).
 
-use qudit_core::pipeline::{
-    dispatch_lowering_pass, CacheMode, CancelInversePairs, LowerToGGates, Pass, PassContext,
-    PassManager, ScheduleDepth,
-};
+use qudit_core::pipeline::{dispatch_lowering_pass, CacheMode, Pass, PassContext, PassManager};
 use qudit_core::{Circuit, Dimension, QuditError};
-use qudit_sim::pipeline::VerifyEquivalence;
 use qudit_sim::SimBackend;
 
+use crate::compiler::{CompileOptions, OptLevel, Verify};
 use crate::error::SynthesisError;
 use crate::lower;
 
@@ -86,7 +81,13 @@ impl Pass for LowerToElementary {
     }
 }
 
-/// Factory for the standard compilation pipelines of the paper's flow.
+/// Factory for the **legacy** compilation presets of the paper's flow.
+///
+/// The `standard*` constructors are deprecated shims over the typed
+/// [`CompileOptions`] builder — every shim
+/// assembles exactly the manager its builder equivalent does (pinned
+/// gate-for-gate by the `compiler_api` integration suite).  New code should
+/// configure a [`Compiler`](crate::compiler::Compiler) instead.
 #[derive(Debug, Clone, Copy)]
 pub struct Pipeline;
 
@@ -95,65 +96,119 @@ impl Pipeline {
     /// qudits of the given dimension: macro-gate lowering → G-gate lowering
     /// → inverse-pair cancellation.
     ///
-    /// The returned manager is pinned to the given register shape and
-    /// rejects mismatched circuits.
-    ///
-    /// # Example
+    /// # Migration
     ///
     /// ```
+    /// #![allow(deprecated)]
     /// use qudit_core::Dimension;
-    /// use qudit_synthesis::{KToffoli, Pipeline};
+    /// use qudit_synthesis::{CompileOptions, Pipeline};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let dimension = Dimension::new(3)?;
-    /// let synthesis = KToffoli::new(dimension, 4)?.synthesize()?;
-    /// let pipeline = Pipeline::standard(dimension, synthesis.layout().width);
-    /// let report = pipeline.run(synthesis.circuit().clone())?;
-    /// assert!(report.circuit.gates().iter().all(|g| g.is_g_gate()));
-    /// // One statistics entry per stage.
-    /// assert_eq!(report.stats.len(), 3);
+    /// let legacy = Pipeline::standard(dimension, 4);
+    /// let modern = CompileOptions::new().shape(dimension, 4).build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
     /// # Ok(())
     /// # }
     /// ```
+    #[deprecated(note = "use CompileOptions::new().shape(dimension, width) \
+                         and the Compiler facade instead")]
     pub fn standard(dimension: Dimension, width: usize) -> PassManager {
-        Self::lowering(dimension, width).with_pass(CancelInversePairs)
+        CompileOptions::new()
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// The lowering stages only (macro → elementary → G-gates), without the
     /// final cancellation — the configuration the paper's G-gate counts are
-    /// reported in.
+    /// reported in; equivalent to
+    /// [`OptLevel::O0`](crate::compiler::OptLevel).
     pub fn lowering(dimension: Dimension, width: usize) -> PassManager {
-        PassManager::new()
-            .with_pass(LowerToElementary)
-            .with_pass(LowerToGGates)
-            .with_shape(dimension, width)
+        CompileOptions::new()
+            .opt_level(OptLevel::O0)
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// [`Pipeline::standard`] with every stage wrapped in
-    /// [`VerifyEquivalence`]: each stage re-simulates its input and output
-    /// and fails the pipeline on any semantics change.
+    /// [`qudit_sim::pipeline::VerifyEquivalence`]: each stage re-simulates
+    /// its input and output and fails the pipeline on any semantics change.
     ///
-    /// Verification simulates on the [`SimBackend::Auto`] backend — each
-    /// stage's classical prefix is walked sparsely; use
-    /// [`Pipeline::standard_verified_with_backend`] to force an engine.
+    /// # Migration
+    ///
+    /// ```
+    /// #![allow(deprecated)]
+    /// use qudit_core::Dimension;
+    /// use qudit_synthesis::{CompileOptions, Pipeline, Verify};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dimension = Dimension::new(3)?;
+    /// let legacy = Pipeline::standard_verified(dimension, 4);
+    /// let modern = CompileOptions::new()
+    ///     .verify(Verify::Exhaustive)
+    ///     .shape(dimension, 4)
+    ///     .build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[deprecated(note = "use CompileOptions::new().verify(Verify::Exhaustive)\
+                         .shape(dimension, width) instead")]
     pub fn standard_verified(dimension: Dimension, width: usize) -> PassManager {
-        Self::standard_verified_with_backend(dimension, width, SimBackend::Auto)
+        CompileOptions::new()
+            .verify(Verify::Exhaustive)
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// [`Pipeline::standard_verified`] with an explicit simulation backend
     /// for every verification wrapper.
+    ///
+    /// # Migration
+    ///
+    /// ```
+    /// #![allow(deprecated)]
+    /// use qudit_core::Dimension;
+    /// use qudit_sim::SimBackend;
+    /// use qudit_synthesis::{CompileOptions, Pipeline, Verify};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dimension = Dimension::new(3)?;
+    /// let legacy = Pipeline::standard_verified_with_backend(dimension, 4, SimBackend::Sparse);
+    /// let modern = CompileOptions::new()
+    ///     .verify(Verify::Exhaustive)
+    ///     .backend(SimBackend::Sparse)
+    ///     .shape(dimension, 4)
+    ///     .build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[deprecated(note = "use CompileOptions::new().verify(Verify::Exhaustive)\
+                         .backend(backend).shape(dimension, width) instead")]
     pub fn standard_verified_with_backend(
         dimension: Dimension,
         width: usize,
         backend: SimBackend,
     ) -> PassManager {
-        VerifyEquivalence::wrap_manager_with_backend(Self::standard(dimension, width), backend)
+        CompileOptions::new()
+            .verify(Verify::Exhaustive)
+            .backend(backend)
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// [`Pipeline::lowering`] with every stage wrapped in
-    /// [`VerifyEquivalence`] (on the [`SimBackend::Auto`] backend).
+    /// [`qudit_sim::pipeline::VerifyEquivalence`] (on the
+    /// [`SimBackend::Auto`] backend); equivalent to
+    /// [`OptLevel::O0`](crate::compiler::OptLevel) with
+    /// [`Verify::Exhaustive`].
     pub fn lowering_verified(dimension: Dimension, width: usize) -> PassManager {
-        VerifyEquivalence::wrap_manager(Self::lowering(dimension, width))
+        CompileOptions::new()
+            .opt_level(OptLevel::O0)
+            .verify(Verify::Exhaustive)
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// The standard flow configured for batch compilation: shape-agnostic
@@ -161,94 +216,155 @@ impl Pipeline {
     /// experiment sweeps need) and with a per-run lowering cache, so every
     /// job reports deterministic cache hit/miss statistics.
     ///
-    /// Run it with `run_batch` / `run_batch_on` to compile the jobs
-    /// concurrently:
-    ///
-    /// # Example
+    /// # Migration
     ///
     /// ```
-    /// use qudit_core::pool::WorkStealingPool;
-    /// use qudit_synthesis::{KToffoli, Pipeline};
-    /// use qudit_core::Dimension;
+    /// #![allow(deprecated)]
+    /// use qudit_core::pipeline::CacheMode;
+    /// use qudit_synthesis::{CompileOptions, Pipeline};
     ///
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// // One batch across different dimensions and widths.
-    /// let mut jobs = Vec::new();
-    /// for (d, k) in [(3u32, 4usize), (4, 3), (5, 2)] {
-    ///     let synthesis = KToffoli::new(Dimension::new(d)?, k)?.synthesize()?;
-    ///     jobs.push(synthesis.circuit().clone());
-    /// }
-    /// let batch = Pipeline::standard_batch().run_batch_on(jobs, &WorkStealingPool::with_threads(2))?;
-    /// assert_eq!(batch.len(), 3);
-    /// // The lowering stages hit the cache within every job.
-    /// assert!(batch.cache_counters().hits > 0);
-    /// # Ok(())
-    /// # }
+    /// let legacy = Pipeline::standard_batch();
+    /// let modern = CompileOptions::new().cache(CacheMode::PerRun).build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
+    /// // New code compiles batches through the facade:
+    /// // `CompileOptions::new().cache(CacheMode::PerRun).compiler().compile_batch(&jobs)`.
     /// ```
+    #[deprecated(note = "use CompileOptions::new().cache(CacheMode::PerRun) \
+                         and Compiler::compile_batch instead")]
     pub fn standard_batch() -> PassManager {
-        Self::standard_batch_with_cache(CacheMode::PerRun)
+        CompileOptions::new()
+            .cache(CacheMode::PerRun)
+            .build_manager()
     }
 
-    /// [`Pipeline::standard`] with the commutation-aware depth scheduler as
-    /// a final stage: macro-gate lowering → G-gate lowering → inverse-pair
-    /// cancellation → [`ScheduleDepth`].
+    /// [`Pipeline::standard`] with the commutation-aware depth scheduler
+    /// ([`qudit_core::pipeline::ScheduleDepth`]) as a final stage.
     ///
-    /// Scheduling is opt-in (the paper reports gate counts on the
-    /// [`Pipeline::standard`] output; this preset additionally minimises
-    /// depth without changing any gate, only their order).
-    ///
-    /// # Example
+    /// # Migration
     ///
     /// ```
-    /// use qudit_core::depth::circuit_depth;
+    /// #![allow(deprecated)]
     /// use qudit_core::Dimension;
-    /// use qudit_synthesis::{KToffoli, Pipeline};
+    /// use qudit_synthesis::{CompileOptions, Pipeline};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let dimension = Dimension::new(3)?;
-    /// let synthesis = KToffoli::new(dimension, 4)?.synthesize()?;
-    /// let width = synthesis.layout().width;
-    /// let plain = Pipeline::standard(dimension, width)
-    ///     .run(synthesis.circuit().clone())?;
-    /// let scheduled = Pipeline::standard_scheduled(dimension, width)
-    ///     .run(synthesis.circuit().clone())?;
-    /// // Same gates (multiset), never deeper.
-    /// assert_eq!(scheduled.circuit.len(), plain.circuit.len());
-    /// assert!(circuit_depth(&scheduled.circuit) <= circuit_depth(&plain.circuit));
+    /// let legacy = Pipeline::standard_scheduled(dimension, 4);
+    /// let modern = CompileOptions::new()
+    ///     .schedule(true)
+    ///     .shape(dimension, 4)
+    ///     .build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
     /// # Ok(())
     /// # }
     /// ```
+    #[deprecated(note = "use CompileOptions::new().schedule(true)\
+                         .shape(dimension, width) instead")]
     pub fn standard_scheduled(dimension: Dimension, width: usize) -> PassManager {
-        Self::standard(dimension, width).with_pass(ScheduleDepth)
+        CompileOptions::new()
+            .schedule(true)
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// [`Pipeline::standard_scheduled`] with every stage (including the
-    /// scheduler) wrapped in [`VerifyEquivalence`] on the
-    /// [`SimBackend::Auto`] backend.
+    /// scheduler) wrapped in verification on the [`SimBackend::Auto`]
+    /// backend.
+    ///
+    /// # Migration
+    ///
+    /// ```
+    /// #![allow(deprecated)]
+    /// use qudit_core::Dimension;
+    /// use qudit_synthesis::{CompileOptions, Pipeline, Verify};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dimension = Dimension::new(3)?;
+    /// let legacy = Pipeline::standard_scheduled_verified(dimension, 4);
+    /// let modern = CompileOptions::new()
+    ///     .schedule(true)
+    ///     .verify(Verify::Exhaustive)
+    ///     .shape(dimension, 4)
+    ///     .build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[deprecated(note = "use CompileOptions::new().schedule(true)\
+                         .verify(Verify::Exhaustive).shape(dimension, width) instead")]
     pub fn standard_scheduled_verified(dimension: Dimension, width: usize) -> PassManager {
-        Self::standard_scheduled_verified_with_backend(dimension, width, SimBackend::Auto)
+        CompileOptions::new()
+            .schedule(true)
+            .verify(Verify::Exhaustive)
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// [`Pipeline::standard_scheduled_verified`] with an explicit simulation
     /// backend for every verification wrapper.
+    ///
+    /// # Migration
+    ///
+    /// ```
+    /// #![allow(deprecated)]
+    /// use qudit_core::Dimension;
+    /// use qudit_sim::SimBackend;
+    /// use qudit_synthesis::{CompileOptions, Pipeline, Verify};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dimension = Dimension::new(3)?;
+    /// let legacy =
+    ///     Pipeline::standard_scheduled_verified_with_backend(dimension, 4, SimBackend::Dense);
+    /// let modern = CompileOptions::new()
+    ///     .schedule(true)
+    ///     .verify(Verify::Exhaustive)
+    ///     .backend(SimBackend::Dense)
+    ///     .shape(dimension, 4)
+    ///     .build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[deprecated(note = "use CompileOptions::new().schedule(true)\
+                         .verify(Verify::Exhaustive).backend(backend)\
+                         .shape(dimension, width) instead")]
     pub fn standard_scheduled_verified_with_backend(
         dimension: Dimension,
         width: usize,
         backend: SimBackend,
     ) -> PassManager {
-        VerifyEquivalence::wrap_manager_with_backend(
-            Self::standard_scheduled(dimension, width),
-            backend,
-        )
+        CompileOptions::new()
+            .schedule(true)
+            .verify(Verify::Exhaustive)
+            .backend(backend)
+            .shape(dimension, width)
+            .build_manager()
     }
 
     /// [`Pipeline::standard_batch`] with the depth scheduler as a final
     /// stage — the configuration the E10/E11 depth columns are produced in.
     ///
-    /// Like [`Pipeline::standard_batch`], the manager is shape-agnostic and
-    /// uses a per-run lowering cache.
+    /// # Migration
+    ///
+    /// ```
+    /// #![allow(deprecated)]
+    /// use qudit_core::pipeline::CacheMode;
+    /// use qudit_synthesis::{CompileOptions, Pipeline};
+    ///
+    /// let legacy = Pipeline::standard_batch_scheduled();
+    /// let modern = CompileOptions::new()
+    ///     .schedule(true)
+    ///     .cache(CacheMode::PerRun)
+    ///     .build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
+    /// ```
+    #[deprecated(note = "use CompileOptions::new().schedule(true)\
+                         .cache(CacheMode::PerRun) and Compiler::compile_batch instead")]
     pub fn standard_batch_scheduled() -> PassManager {
-        Self::standard_batch_with_cache(CacheMode::PerRun).with_pass(ScheduleDepth)
+        CompileOptions::new()
+            .schedule(true)
+            .cache(CacheMode::PerRun)
+            .build_manager()
     }
 
     /// [`Pipeline::standard_batch`] with an explicit [`CacheMode`].
@@ -258,16 +374,30 @@ impl Pipeline {
     /// propagated, never silently reset to the preset's own default.  See
     /// `standard_batch_propagates_non_default_cache_modes` in the tests for
     /// the pinned contract.
+    ///
+    /// # Migration
+    ///
+    /// ```
+    /// #![allow(deprecated)]
+    /// use qudit_core::cache::LoweringCache;
+    /// use qudit_core::pipeline::CacheMode;
+    /// use qudit_synthesis::{CompileOptions, Pipeline};
+    ///
+    /// let cache = CacheMode::Shared(LoweringCache::shared());
+    /// let legacy = Pipeline::standard_batch_with_cache(cache.clone());
+    /// let modern = CompileOptions::new().cache(cache).build_manager();
+    /// assert_eq!(legacy.pass_names(), modern.pass_names());
+    /// ```
+    #[deprecated(note = "use CompileOptions::new().cache(cache) \
+                         and Compiler::compile_batch instead")]
     pub fn standard_batch_with_cache(cache: CacheMode) -> PassManager {
-        PassManager::new()
-            .with_pass(LowerToElementary)
-            .with_pass(LowerToGGates)
-            .with_pass(CancelInversePairs)
-            .with_cache(cache)
+        CompileOptions::new().cache(cache).build_manager()
     }
 }
 
 #[cfg(test)]
+// The legacy shims under test are deprecated by design.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::KToffoli;

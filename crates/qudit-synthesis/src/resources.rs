@@ -4,8 +4,8 @@ use std::fmt;
 
 use qudit_core::{AncillaUsage, Circuit};
 
+use crate::compiler::{CompileOptions, OptLevel};
 use crate::error::{Result, SynthesisError};
-use crate::pipeline::Pipeline;
 
 /// Gate and ancilla counts of a synthesis, at the three circuit levels used
 /// by the evaluation:
@@ -41,19 +41,21 @@ impl Resources {
     /// it contains a general unitary gate, which has no G-gate expansion); in
     /// that case use [`Resources::for_macro_only`].
     pub fn for_circuit(circuit: &Circuit, ancillas: AncillaUsage) -> Result<Self> {
-        // One lowering-pipeline run yields every level: the elementary
-        // counts from the first stage's output profile, the G-gate count
-        // from the second's.
-        let report = Pipeline::lowering(circuit.dimension(), circuit.width())
-            .run(circuit.clone())
-            .map_err(SynthesisError::from)?;
-        let elementary = &report.stats[0].after;
+        // One lowering-only (`O0`) compilation yields every level: the
+        // elementary counts from the first stage's output profile, the
+        // G-gate count from the second's.
+        let compiler = CompileOptions::new()
+            .opt_level(OptLevel::O0)
+            .shape(circuit.dimension(), circuit.width())
+            .compiler();
+        let result = compiler.compile(circuit).map_err(SynthesisError::from)?;
+        let elementary = &result.stats[0].after;
         Ok(Resources {
             width: circuit.width(),
             macro_gates: circuit.len(),
             elementary_gates: elementary.gates,
             two_qudit_gates: elementary.two_qudit_gates,
-            g_gates: report.circuit.len(),
+            g_gates: result.circuit.len(),
             ancillas,
         })
     }

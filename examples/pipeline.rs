@@ -1,13 +1,14 @@
-//! The compilation pipeline: composing, extending and self-verifying the
-//! paper's lowering flow with `Pass` / `PassManager`.
+//! The compilation facade: configuring, extending and self-verifying the
+//! paper's lowering flow with `Compiler` / `CompileOptions`.
 //!
 //! Demonstrates:
 //!
-//! 1. the `Pipeline::standard` preset (macro → elementary → G-gates →
-//!    cancellation) with per-pass statistics;
-//! 2. a custom user-defined `Pass` appended to the preset;
-//! 3. the `VerifyEquivalence` wrapper, which re-simulates every stage and
-//!    fails the pipeline if a pass changes the circuit's semantics.
+//! 1. the default options (macro → elementary → G-gates → cancellation)
+//!    with the unified `CompileResult` report;
+//! 2. a custom user-defined `Pass` appended to the assembled pipeline via
+//!    `CompileOptions::build_manager`;
+//! 3. the `Verify::Exhaustive` knob, which re-simulates every stage and
+//!    fails the compilation if a pass changes the circuit's semantics.
 //!
 //! Run with:
 //!
@@ -17,8 +18,7 @@
 
 use qudit_core::pipeline::Pass;
 use qudit_core::{Circuit, Dimension, Gate, SingleQuditOp};
-use qudit_sim::pipeline::VerifyEquivalence;
-use qudit_synthesis::{KToffoli, Pipeline};
+use qudit_synthesis::{CompileOptions, KToffoli, Verify};
 
 /// A custom diagnostic pass: reports how many gates are swap-based, then
 /// returns the circuit unchanged.
@@ -55,36 +55,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let synthesis = KToffoli::new(dimension, 5)?.synthesize()?;
     let width = synthesis.layout().width;
 
-    // 1. The standard preset with statistics.
-    println!("Pipeline::standard on the 5-controlled Toffoli (d = 3):");
-    let report = Pipeline::standard(dimension, width).run(synthesis.circuit().clone())?;
-    for stats in &report.stats {
+    // 1. The default options with the unified report.
+    println!("Default CompileOptions on the 5-controlled Toffoli (d = 3):");
+    let compiler = CompileOptions::new().shape(dimension, width).compiler();
+    let result = compiler.compile(synthesis.circuit())?;
+    for stats in &result.stats {
         println!("  {stats}");
     }
     println!(
-        "  total: {:.1} µs\n",
-        report.total_elapsed().as_secs_f64() * 1e6
+        "  total: {:.1} µs, final depth {}\n",
+        result.total_elapsed().as_secs_f64() * 1e6,
+        result.depth
     );
 
-    // 2. Extending the preset with a custom pass.
+    // 2. Extending the assembled pipeline with a custom pass.
     println!("Extended pipeline with a custom pass:");
-    let extended = Pipeline::standard(dimension, width).with_pass(CountSwaps);
+    let extended = CompileOptions::new()
+        .shape(dimension, width)
+        .build_manager()
+        .with_pass(CountSwaps);
     let extended_report = extended.run(synthesis.circuit().clone())?;
-    assert_eq!(extended_report.circuit, report.circuit);
+    assert_eq!(extended_report.circuit, result.circuit);
     println!();
 
-    // 3. Self-verifying pipeline: every stage checks semantics preservation.
-    println!("Self-verifying pipeline (VerifyEquivalence around every stage):");
-    let verified = VerifyEquivalence::wrap_manager(Pipeline::standard(dimension, width));
-    let verified_report = verified.run(synthesis.circuit().clone())?;
-    for stats in &verified_report.stats {
+    // 3. Self-verifying compilation: every stage checks semantics
+    //    preservation, and the report carries the verdict.
+    println!("Self-verifying compilation (Verify::Exhaustive):");
+    let verified = CompileOptions::new()
+        .verify(Verify::Exhaustive)
+        .shape(dimension, width)
+        .compiler();
+    let verified_result = verified.compile(synthesis.circuit())?;
+    for stats in &verified_result.stats {
         println!("  {stats}");
     }
-    assert_eq!(verified_report.circuit, report.circuit);
-    assert!(verified_report.circuit.gates().iter().all(Gate::is_g_gate));
+    assert_eq!(verified_result.circuit, result.circuit);
+    assert!(verified_result.verification.is_verified());
+    assert!(verified_result.circuit.gates().iter().all(Gate::is_g_gate));
     println!(
-        "\nAll stages verified; final circuit has {} G-gates.",
-        report.circuit.len()
+        "\nAll stages verified ({}); final circuit has {} G-gates.",
+        verified_result.verification,
+        result.circuit.len()
     );
     Ok(())
 }

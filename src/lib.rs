@@ -7,7 +7,8 @@
 //!
 //! * [`qudit_core`] — circuits, gates, control predicates.
 //! * [`qudit_sim`] — permutation and state-vector simulators.
-//! * [`qudit_synthesis`] — the paper's multi-controlled gate syntheses.
+//! * [`qudit_synthesis`] — the paper's multi-controlled gate syntheses and
+//!   the `Compiler` / `CompileOptions` compilation facade.
 //! * [`qudit_baselines`] — prior-work baselines and cost models.
 //! * [`qudit_unitary`] — general unitary synthesis (Theorem IV.1).
 //! * [`qudit_reversible`] — classical reversible function compiler (Theorem IV.2).
@@ -41,7 +42,10 @@ pub mod prelude {
         Circuit, Control, ControlPredicate, Dimension, Gate, GateOp, QuditId, SingleQuditOp,
     };
     pub use qudit_reversible::ReversibleFunction;
-    pub use qudit_sim::{PermutationSimulator, StateVector};
-    pub use qudit_synthesis::{ControlledUnitary, KToffoli, MultiControlledGate};
+    pub use qudit_sim::{PermutationSimulator, SimBackend, StateVector};
+    pub use qudit_synthesis::{
+        CompileOptions, Compiler, ControlledUnitary, KToffoli, MultiControlledGate, OptLevel,
+        Threads, Verify,
+    };
     pub use qudit_unitary::UnitarySynthesizer;
 }

@@ -1,19 +1,19 @@
-//! Integration tests of the parallel batch-compilation subsystem:
+//! Integration tests of the parallel batch-compilation subsystem, routed
+//! through the `Compiler` facade:
 //!
-//! * sequential and parallel (`run_batch`) compilation of the same jobs
-//!   report identical gate/G-gate counts and identical circuits;
+//! * sequential (`compile`) and parallel (`compile_batch`) compilation of
+//!   the same jobs report identical gate/G-gate counts and identical
+//!   circuits;
 //! * the shared lowering cache changes nothing about the compiled circuits
 //!   while reusing gadget expansions across jobs;
-//! * the self-checking (`VerifyEquivalence`-wrapped) pipeline still passes
-//!   when run batched and cached — every parallel/cached path stays
-//!   verifiable by re-simulation.
+//! * the self-checking (`Verify::Exhaustive`) pipeline still passes when
+//!   run batched and cached — every parallel/cached path stays verifiable
+//!   by re-simulation.
 
 use qudit_core::cache::LoweringCache;
 use qudit_core::pipeline::CacheMode;
-use qudit_core::pool::WorkStealingPool;
 use qudit_core::Circuit;
-use qudit_sim::pipeline::VerifyEquivalence;
-use qudit_synthesis::{KToffoli, Pipeline};
+use qudit_synthesis::{CompileOptions, KToffoli, Threads, Verify};
 
 /// The macro circuits of a small heterogeneous sweep (both parities, several
 /// widths).
@@ -32,18 +32,24 @@ fn sweep_jobs() -> Vec<Circuit> {
 #[test]
 fn sequential_and_parallel_compilation_agree() {
     let jobs = sweep_jobs();
-    let manager = Pipeline::standard_batch();
+    let compiler = CompileOptions::new()
+        .cache(CacheMode::PerRun)
+        .threads(Threads::Fixed(4))
+        .compiler();
 
     let sequential: Vec<_> = jobs
         .iter()
-        .map(|job| manager.run(job.clone()).unwrap())
+        .map(|job| compiler.compile(job).unwrap())
         .collect();
-    let batch = manager
-        .run_batch_on(jobs, &WorkStealingPool::with_threads(4))
-        .unwrap();
+    let batch = compiler.compile_batch(&jobs).unwrap();
 
-    for (parallel, reference) in batch.reports.iter().zip(&sequential) {
+    for (parallel, reference) in batch.results.iter().zip(&sequential) {
         assert_eq!(parallel.circuit, reference.circuit);
+        assert_eq!(parallel.depth, reference.depth);
+        assert_eq!(
+            parallel.cache, reference.cache,
+            "cache tallies must be deterministic"
+        );
         for (a, b) in parallel.stats.iter().zip(&reference.stats) {
             assert_eq!(a.pass, b.pass);
             assert_eq!(a.before.gates, b.before.gates, "gate counts must match");
@@ -53,7 +59,7 @@ fn sequential_and_parallel_compilation_agree() {
         }
     }
 
-    // The merged statistics agree with summing the sequential reports.
+    // The merged statistics agree with summing the sequential results.
     let merged = batch.merged_stats();
     for (position, entry) in merged.iter().enumerate() {
         let expected_gates: usize = sequential
@@ -71,17 +77,18 @@ fn sequential_and_parallel_compilation_agree() {
 #[test]
 fn shared_cache_reuses_expansions_across_jobs_without_changing_output() {
     let jobs = sweep_jobs();
-    let uncached = Pipeline::standard_batch().with_cache(CacheMode::Off);
+    let uncached = CompileOptions::new().compiler();
     let reference: Vec<_> = jobs
         .iter()
-        .map(|job| uncached.run(job.clone()).unwrap().circuit)
+        .map(|job| uncached.compile(job).unwrap().circuit)
         .collect();
 
     let cache = LoweringCache::shared();
-    let shared = Pipeline::standard_batch().with_cache(CacheMode::Shared(cache.clone()));
-    let batch = shared
-        .run_batch_on(jobs, &WorkStealingPool::with_threads(4))
-        .unwrap();
+    let shared = CompileOptions::new()
+        .cache(CacheMode::Shared(cache.clone()))
+        .threads(Threads::Fixed(4))
+        .compiler();
+    let batch = shared.compile_batch(&jobs).unwrap();
     let compiled: Vec<_> = batch.circuits().cloned().collect();
     assert_eq!(compiled, reference);
     let counters = cache.counters();
@@ -95,22 +102,23 @@ fn shared_cache_reuses_expansions_across_jobs_without_changing_output() {
 #[test]
 fn verified_pipeline_passes_batched_and_cached() {
     let jobs = sweep_jobs();
-    let manager = VerifyEquivalence::wrap_manager(Pipeline::standard_batch());
-    let batch = manager
-        .run_batch_on(jobs, &WorkStealingPool::with_threads(2))
-        .unwrap();
-    for report in &batch.reports {
-        assert!(report
+    let compiler = CompileOptions::new()
+        .verify(Verify::Exhaustive)
+        .cache(CacheMode::PerRun)
+        .threads(Threads::Fixed(2))
+        .compiler();
+    let batch = compiler.compile_batch(&jobs).unwrap();
+    assert!(batch.is_verified());
+    for result in &batch.results {
+        assert!(result
             .circuit
             .gates()
             .iter()
             .all(qudit_core::Gate::is_g_gate));
+        assert!(result.verification.is_verified());
         // Verification wrappers forward the cache context to the wrapped
         // passes, so cache statistics survive under verification.
-        assert!(report.stats.iter().all(|s| s.pass.starts_with("verify(")));
-        assert!(report
-            .stats
-            .iter()
-            .any(|s| s.cache.map(|c| c.total() > 0).unwrap_or(false)));
+        assert!(result.stats.iter().all(|s| s.pass.starts_with("verify(")));
+        assert!(result.cache.map(|c| c.total() > 0).unwrap_or(false));
     }
 }

@@ -1,0 +1,357 @@
+//! End-to-end suite for the `Compiler` / `CompileOptions` facade:
+//!
+//! * legacy-shim equivalence: every deprecated `Pipeline::standard*` preset
+//!   assembles a `PassManager` with the identical pass list as its
+//!   builder-constructed equivalent, and compiles the E10-family k-Toffoli
+//!   sweep gate-for-gate identically (statistics included) — the preset
+//!   matrix cannot drift from the builder;
+//! * knob coverage: every combination of the orthogonal option knobs
+//!   assembles, and the assembled pass list is exactly the one the options
+//!   describe;
+//! * property-based round-trip: random mixed multi-controlled circuits
+//!   compile under `Verify::Exhaustive` across
+//!   `SimBackend::{Dense, Sparse, Auto}` and `Threads::{Fixed(1), Fixed(4)}`
+//!   with bit-identical outputs (the CI thread matrix additionally runs the
+//!   whole suite under `QUDIT_THREADS=1` and `=4`).
+
+use proptest::prelude::*;
+use qudit_core::cache::LoweringCache;
+use qudit_core::pipeline::{CacheMode, PassManager};
+use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+use qudit_sim::SimBackend;
+use qudit_synthesis::{
+    emit_multi_controlled, CompileOptions, KToffoli, OptLevel, Pipeline, Threads, Verify,
+};
+
+fn dim(d: u32) -> Dimension {
+    Dimension::new(d).unwrap()
+}
+
+/// The E10-family macro circuits the equivalence checks compile.
+fn e10_family(ks: &[usize]) -> Vec<(Dimension, usize, Circuit)> {
+    let mut jobs = Vec::new();
+    for &d in &[3u32, 4] {
+        for &k in ks {
+            let synthesis = KToffoli::new(dim(d), k).unwrap().synthesize().unwrap();
+            jobs.push((
+                dim(d),
+                synthesis.layout().width,
+                synthesis.circuit().clone(),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Asserts a legacy preset manager and its builder equivalent agree on the
+/// pass list and compile every job identically — circuits gate for gate,
+/// statistics profile for profile (wall times aside).
+fn assert_equivalent(
+    name: &str,
+    legacy: PassManager,
+    options: CompileOptions,
+    jobs: &[(Dimension, usize, Circuit)],
+) {
+    let modern = options.build_manager();
+    assert_eq!(
+        legacy.pass_names(),
+        modern.pass_names(),
+        "{name}: pass lists diverged"
+    );
+    for (_, _, job) in jobs {
+        let legacy_report = legacy.run(job.clone()).unwrap();
+        let modern_report = modern.run(job.clone()).unwrap();
+        assert_eq!(
+            legacy_report.circuit, modern_report.circuit,
+            "{name}: compiled circuits diverged"
+        );
+        assert_eq!(
+            legacy_report.stats.len(),
+            modern_report.stats.len(),
+            "{name}: stage counts diverged"
+        );
+        for (a, b) in legacy_report.stats.iter().zip(&modern_report.stats) {
+            assert_eq!(a.pass, b.pass, "{name}: pass names diverged");
+            assert_eq!(a.before, b.before, "{name}: input profiles diverged");
+            assert_eq!(a.after, b.after, "{name}: output profiles diverged");
+            assert_eq!(a.cache, b.cache, "{name}: cache tallies diverged");
+        }
+    }
+}
+
+/// Every legacy shim must assemble and compile exactly like its
+/// `CompileOptions` equivalent (the migration documented on each shim).
+#[test]
+#[allow(deprecated)]
+fn legacy_shims_match_their_builder_equivalents() {
+    // Unverified presets: the full quick E10 family.
+    let sweep = e10_family(&[3, 4, 6]);
+    for &(dimension, width, _) in &sweep {
+        assert_equivalent(
+            "standard",
+            Pipeline::standard(dimension, width),
+            CompileOptions::new().shape(dimension, width),
+            &sweep
+                .iter()
+                .filter(|(d, w, _)| *d == dimension && *w == width)
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+        assert_equivalent(
+            "standard_scheduled",
+            Pipeline::standard_scheduled(dimension, width),
+            CompileOptions::new().schedule(true).shape(dimension, width),
+            &sweep
+                .iter()
+                .filter(|(d, w, _)| *d == dimension && *w == width)
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    // Shape-agnostic batch presets: one manager over the whole sweep.
+    assert_equivalent(
+        "standard_batch",
+        Pipeline::standard_batch(),
+        CompileOptions::new().cache(CacheMode::PerRun),
+        &sweep,
+    );
+    assert_equivalent(
+        "standard_batch_scheduled",
+        Pipeline::standard_batch_scheduled(),
+        CompileOptions::new()
+            .schedule(true)
+            .cache(CacheMode::PerRun),
+        &sweep,
+    );
+    assert_equivalent(
+        "standard_batch_with_cache(Off)",
+        Pipeline::standard_batch_with_cache(CacheMode::Off),
+        CompileOptions::new().cache(CacheMode::Off),
+        &sweep,
+    );
+    // Each side gets its own shared cache: the tallies must evolve
+    // identically from a cold start (sharing one instance would hand the
+    // second runner a warm cache).
+    assert_equivalent(
+        "standard_batch_with_cache(Shared)",
+        Pipeline::standard_batch_with_cache(CacheMode::Shared(LoweringCache::shared())),
+        CompileOptions::new().cache(CacheMode::Shared(LoweringCache::shared())),
+        &sweep,
+    );
+
+    // Verified presets: a reduced family (verification re-simulates every
+    // stage, so keep the registers small).
+    let verified_sweep = e10_family(&[3]);
+    for &(dimension, width, _) in &verified_sweep {
+        let jobs: Vec<_> = verified_sweep
+            .iter()
+            .filter(|(d, w, _)| *d == dimension && *w == width)
+            .cloned()
+            .collect();
+        assert_equivalent(
+            "standard_verified",
+            Pipeline::standard_verified(dimension, width),
+            CompileOptions::new()
+                .verify(Verify::Exhaustive)
+                .shape(dimension, width),
+            &jobs,
+        );
+        assert_equivalent(
+            "standard_verified_with_backend",
+            Pipeline::standard_verified_with_backend(dimension, width, SimBackend::Sparse),
+            CompileOptions::new()
+                .verify(Verify::Exhaustive)
+                .backend(SimBackend::Sparse)
+                .shape(dimension, width),
+            &jobs,
+        );
+        assert_equivalent(
+            "standard_scheduled_verified",
+            Pipeline::standard_scheduled_verified(dimension, width),
+            CompileOptions::new()
+                .schedule(true)
+                .verify(Verify::Exhaustive)
+                .shape(dimension, width),
+            &jobs,
+        );
+        assert_equivalent(
+            "standard_scheduled_verified_with_backend",
+            Pipeline::standard_scheduled_verified_with_backend(dimension, width, SimBackend::Dense),
+            CompileOptions::new()
+                .schedule(true)
+                .verify(Verify::Exhaustive)
+                .backend(SimBackend::Dense)
+                .shape(dimension, width),
+            &jobs,
+        );
+    }
+}
+
+/// Every combination of the orthogonal knobs assembles, and the assembled
+/// pass list is exactly the one the options describe.
+#[test]
+fn every_knob_combination_assembles() {
+    let verifies = [Verify::Off, Verify::Exhaustive, Verify::Sampled(16)];
+    let backends = [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto];
+    let caches = || {
+        [
+            CacheMode::Off,
+            CacheMode::PerRun,
+            CacheMode::Shared(LoweringCache::shared()),
+        ]
+    };
+    let threads = [Threads::Auto, Threads::Fixed(1), Threads::Fixed(4)];
+    let mut combinations = 0usize;
+    for verify in verifies {
+        for backend in backends {
+            for cancel in [true, false] {
+                for schedule in [true, false] {
+                    for cache in caches() {
+                        for thread in threads {
+                            let options = CompileOptions::new()
+                                .verify(verify)
+                                .backend(backend)
+                                .cancel(cancel)
+                                .schedule(schedule)
+                                .cache(cache.clone())
+                                .threads(thread);
+                            let manager = options.build_manager();
+
+                            // The pass list is exactly what the knobs select.
+                            let mut expected = vec!["lower-to-elementary", "lower-to-g-gates"];
+                            if cancel {
+                                expected.push("cancel-inverse-pairs");
+                            }
+                            if schedule {
+                                expected.push("schedule-depth");
+                            }
+                            let expected: Vec<String> = expected
+                                .iter()
+                                .map(|stage| match verify {
+                                    Verify::Off => stage.to_string(),
+                                    _ => format!("verify({stage})"),
+                                })
+                                .collect();
+                            assert_eq!(manager.pass_names(), expected, "{options:?}");
+                            combinations += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(combinations, 3 * 3 * 2 * 2 * 3 * 3);
+}
+
+/// The pinned pool reaches the verification wrappers: above the parallel
+/// sweep threshold (1024 basis states), `Verify::Exhaustive` fans its
+/// basis sweep out on the compiler's pool — `Fixed(1)` stays sequential,
+/// `Fixed(4)` runs the pool path — and both verdicts and outputs agree.
+#[test]
+fn pinned_pools_reach_the_verification_sweep() {
+    // d=4, k=4 → width 6, 4^6 = 4096 basis states ≥ the parallel-verify
+    // threshold, and still within the exhaustive bound.
+    let synthesis = KToffoli::new(dim(4), 4).unwrap().synthesize().unwrap();
+    let mut reference: Option<Circuit> = None;
+    for threads in [Threads::Fixed(1), Threads::Fixed(4)] {
+        let compiler = CompileOptions::new()
+            .verify(Verify::Exhaustive)
+            .threads(threads)
+            .compiler();
+        let result = compiler.compile(synthesis.circuit()).unwrap();
+        assert!(result.verification.is_verified(), "{threads:?}");
+        match &reference {
+            Some(expected) => assert_eq!(&result.circuit, expected, "{threads:?}"),
+            None => reference = Some(result.circuit),
+        }
+    }
+}
+
+/// Builds a circuit of mixed multi-controlled gates over `width` qudits
+/// (one spare wire reserved as the borrowed pool for even `d`) — the same
+/// workload family as the pipeline proptests.
+fn build_mct_circuit(dimension: Dimension, specs: &[(usize, usize, u8, u32, u32)]) -> Circuit {
+    let d = dimension.get();
+    let max_controls = specs.iter().map(|s| s.0).max().expect("non-empty specs");
+    let width = max_controls + 2;
+    let mut circuit = Circuit::new(dimension, width);
+    for &(k, target_offset, op_kind, shift, level_seed) in specs {
+        let op = match op_kind % 3 {
+            0 => SingleQuditOp::Swap(0, 1 + shift % (d - 1)),
+            1 => SingleQuditOp::Add(1 + shift % (d - 1)),
+            _ => SingleQuditOp::Swap(shift % d, (shift + 1) % d),
+        };
+        let target = QuditId::new(k + (target_offset % (width - k)));
+        let controls: Vec<(QuditId, u32)> = (0..k)
+            .map(|i| (QuditId::new(i), (level_seed.wrapping_add(i as u32 * 7)) % d))
+            .collect();
+        let pool: Vec<QuditId> = (0..width)
+            .map(QuditId::new)
+            .filter(|q| *q != target && !controls.iter().any(|(c, _)| c == q))
+            .collect();
+        emit_multi_controlled(&mut circuit, &controls, target, &op, &pool)
+            .expect("multi-controlled emission succeeds for valid specs");
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mixed circuits compile under `Verify::Exhaustive` on every
+    /// simulation backend and fixed thread count, with bit-identical
+    /// outputs across the whole grid and a verified verdict everywhere.
+    #[test]
+    fn options_round_trip_on_random_mixed_circuits(
+        d in 3u32..=4,
+        specs in prop::collection::vec((1usize..=2, 0usize..4, 0u8..3, 0u32..8, 0u32..8), 1..3),
+        schedule in any::<bool>(),
+    ) {
+        let dimension = Dimension::new(d).unwrap();
+        let circuit = build_mct_circuit(dimension, &specs);
+        let mut reference: Option<Circuit> = None;
+        for backend in [SimBackend::Dense, SimBackend::Sparse, SimBackend::Auto] {
+            for threads in [Threads::Fixed(1), Threads::Fixed(4)] {
+                let compiler = CompileOptions::new()
+                    .verify(Verify::Exhaustive)
+                    .backend(backend)
+                    .schedule(schedule)
+                    .cache(CacheMode::PerRun)
+                    .threads(threads)
+                    .compiler();
+                let result = compiler.compile(&circuit).unwrap();
+                prop_assert!(result.verification.is_verified());
+                prop_assert!(result.circuit.gates().iter().all(Gate::is_g_gate));
+                prop_assert_eq!(
+                    result.depth,
+                    qudit_core::depth::circuit_depth(&result.circuit)
+                );
+                match &reference {
+                    Some(expected) => prop_assert_eq!(
+                        &result.circuit, expected,
+                        "backend {} / {:?} diverged", backend, threads
+                    ),
+                    None => reference = Some(result.circuit),
+                }
+            }
+        }
+    }
+
+    /// `OptLevel::O0` output re-compiles to itself under `O1` with nothing
+    /// left to cancel beyond the fixpoint: compiling is idempotent on
+    /// already-compiled circuits for every opt level.
+    #[test]
+    fn compilation_is_idempotent_per_opt_level(
+        d in 3u32..=4,
+        specs in prop::collection::vec((1usize..=2, 0usize..4, 0u8..3, 0u32..8, 0u32..8), 1..2),
+        level in prop::sample::select(vec![OptLevel::O0, OptLevel::O1, OptLevel::O2]),
+    ) {
+        let dimension = Dimension::new(d).unwrap();
+        let circuit = build_mct_circuit(dimension, &specs);
+        let compiler = CompileOptions::new().opt_level(level).compiler();
+        let once = compiler.compile(&circuit).unwrap().circuit;
+        let twice = compiler.compile(&once).unwrap().circuit;
+        prop_assert_eq!(once, twice);
+    }
+}

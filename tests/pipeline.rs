@@ -1,10 +1,10 @@
 //! Integration tests of the compilation pipeline:
 //!
 //! * property-based: for random multi-controlled circuits, every stage of
-//!   `Pipeline::standard` preserves semantics (checked both by the
-//!   `VerifyEquivalence` wrappers *inside* the pipeline and by an outside
-//!   permutation-table comparison), and the final circuit consists purely of
-//!   G-gates;
+//!   the standard flow (the default `CompileOptions`) preserves semantics
+//!   (checked both by the `Verify::Exhaustive` wrappers *inside* the
+//!   pipeline and by an outside permutation-table comparison), and the
+//!   final circuit consists purely of G-gates;
 //! * regression: the pipeline's G-gate counts equal the pre-refactor manual
 //!   `lower_to_g_gates` / `cancel_inverse_pairs` chains on the paper's
 //!   benchmark cases.
@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
 use qudit_sim::circuit_permutation;
-use qudit_synthesis::{emit_multi_controlled, KToffoli, Pipeline};
+use qudit_synthesis::{emit_multi_controlled, CompileOptions, KToffoli, OptLevel, Verify};
 
 /// Builds a circuit of `specs.len()` multi-controlled gates over `width`
 /// qudits, with one spare qudit reserved as the borrowed pool for even `d`.
@@ -68,8 +68,12 @@ proptest! {
     ) {
         let dimension = Dimension::new(d).unwrap();
         let circuit = build_mct_circuit(dimension, &specs);
-        let manager = Pipeline::standard_verified(dimension, circuit.width());
-        let report = manager.run(circuit.clone()).unwrap();
+        let compiler = CompileOptions::new()
+            .verify(Verify::Exhaustive)
+            .shape(dimension, circuit.width())
+            .compiler();
+        let report = compiler.compile(&circuit).unwrap();
+        prop_assert!(report.verification.is_verified());
         prop_assert!(report.circuit.gates().iter().all(Gate::is_g_gate));
         prop_assert_eq!(
             circuit_permutation(&circuit).unwrap(),
@@ -90,8 +94,11 @@ proptest! {
     fn lowering_pipeline_matches_resources(d in 3u32..=5, k in 1usize..=6) {
         let dimension = Dimension::new(d).unwrap();
         let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
-        let report = Pipeline::lowering(dimension, synthesis.layout().width)
-            .run(synthesis.circuit().clone())
+        let report = CompileOptions::new()
+            .opt_level(OptLevel::O0)
+            .shape(dimension, synthesis.layout().width)
+            .compiler()
+            .compile(synthesis.circuit())
             .unwrap();
         prop_assert_eq!(report.circuit.len(), synthesis.resources().g_gates);
         prop_assert_eq!(report.stats[0].after.gates, synthesis.resources().elementary_gates);
@@ -124,12 +131,18 @@ fn pipeline_g_gate_counts_match_the_manual_chains() {
         let manual_g = qudit_synthesis::lower::lower_to_g_gates(&macro_circuit).unwrap();
         let manual_optimized = qudit_core::optimize::cancel_inverse_pairs(&manual_g);
 
-        // Pipeline equivalents.
-        let lowered = Pipeline::lowering(dimension, width)
-            .run_circuit(macro_circuit.clone())
-            .unwrap();
-        let standard = Pipeline::standard(dimension, width)
-            .run(macro_circuit)
+        // Facade equivalents.
+        let lowered = CompileOptions::new()
+            .opt_level(OptLevel::O0)
+            .shape(dimension, width)
+            .compiler()
+            .compile(&macro_circuit)
+            .unwrap()
+            .circuit;
+        let standard = CompileOptions::new()
+            .shape(dimension, width)
+            .compiler()
+            .compile(&macro_circuit)
             .unwrap();
 
         assert_eq!(

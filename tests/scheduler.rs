@@ -20,9 +20,14 @@ use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
 use qudit_sim::circuit_permutation;
 use qudit_sim::equivalence::{verify_mct_sampled_with, MctSpec};
 use qudit_sim::sparse::{circuit_unitary_with, SimBackend};
-use qudit_synthesis::{emit_multi_controlled, KToffoli, Pipeline};
+use qudit_synthesis::{emit_multi_controlled, CompileOptions, Compiler, KToffoli, Verify};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The standard-flow compiler pinned to one register shape.
+fn standard_compiler(dimension: Dimension, width: usize) -> Compiler {
+    CompileOptions::new().shape(dimension, width).compiler()
+}
 
 /// Builds a circuit of multi-controlled gates over `width` qudits (one
 /// spare wire is reserved as the borrowed pool for even `d`) — the same
@@ -67,9 +72,10 @@ proptest! {
         let circuit = build_mct_circuit(dimension, &specs);
         // Schedule the fully lowered circuit — the form the pipeline
         // schedules, and the one with reordering freedom.
-        let lowered = Pipeline::standard(dimension, circuit.width())
-            .run_circuit(circuit)
-            .unwrap();
+        let lowered = standard_compiler(dimension, circuit.width())
+            .compile(&circuit)
+            .unwrap()
+            .circuit;
         let scheduled = schedule_depth(&lowered);
 
         // Same gate multiset, never deeper, and the same permutation.
@@ -106,11 +112,15 @@ proptest! {
     ) {
         let dimension = Dimension::new(d).unwrap();
         let circuit = build_mct_circuit(dimension, &specs);
-        let plain = Pipeline::standard(dimension, circuit.width())
-            .run_circuit(circuit.clone())
-            .unwrap();
-        let report = Pipeline::standard_scheduled(dimension, circuit.width())
-            .run(circuit)
+        let plain = standard_compiler(dimension, circuit.width())
+            .compile(&circuit)
+            .unwrap()
+            .circuit;
+        let report = CompileOptions::new()
+            .schedule(true)
+            .shape(dimension, circuit.width())
+            .compiler()
+            .compile(&circuit)
             .unwrap();
         prop_assert_eq!(
             circuit_permutation(&plain).unwrap(),
@@ -144,9 +154,10 @@ fn e10_family_depths_match_the_golden_values() {
         let dimension = Dimension::new(d).unwrap();
         let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
         let width = synthesis.layout().width;
-        let plain = Pipeline::standard(dimension, width)
-            .run_circuit(synthesis.circuit().clone())
-            .unwrap();
+        let plain = standard_compiler(dimension, width)
+            .compile(synthesis.circuit())
+            .unwrap()
+            .circuit;
         assert_eq!(
             circuit_depth(&plain),
             depth_before,
@@ -170,9 +181,10 @@ fn schedule_never_increases_depth_on_the_e10_family() {
         let dimension = Dimension::new(d).unwrap();
         let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
         let width = synthesis.layout().width;
-        let plain = Pipeline::standard(dimension, width)
-            .run_circuit(synthesis.circuit().clone())
-            .unwrap();
+        let plain = standard_compiler(dimension, width)
+            .compile(synthesis.circuit())
+            .unwrap()
+            .circuit;
         let scheduled = schedule_depth(&plain);
         assert!(
             circuit_depth(&scheduled) <= circuit_depth(&plain),
@@ -195,9 +207,14 @@ fn verified_scheduled_pipeline_accepts_the_e10_sweep() {
         let dimension = Dimension::new(d).unwrap();
         let synthesis = KToffoli::new(dimension, k).unwrap().synthesize().unwrap();
         let width = synthesis.layout().width;
-        let report = Pipeline::standard_scheduled_verified(dimension, width)
-            .run(synthesis.circuit().clone())
+        let report = CompileOptions::new()
+            .schedule(true)
+            .verify(Verify::Exhaustive)
+            .shape(dimension, width)
+            .compiler()
+            .compile(synthesis.circuit())
             .unwrap_or_else(|e| panic!("verification failed for d={d}, k={k}: {e}"));
+        assert!(report.verification.is_verified());
         assert!(report.circuit.gates().iter().all(Gate::is_g_gate));
         assert_eq!(report.stats.last().unwrap().pass, "verify(schedule-depth)");
 
