@@ -406,7 +406,7 @@ pub fn e11_pipeline(scale: Scale) -> Table {
 /// sequentially compiled sweep.
 pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult]) -> Table {
     let mut table = Table::new(
-        "E11 — standard pipeline per-pass statistics (macro -> elementary -> G -> optimised)",
+        "E11 — standard pipeline per-pass statistics (macro -> fused -> elementary -> G -> optimised)",
         &[
             "d",
             "k",
@@ -417,6 +417,8 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
             "depth out",
             "cache hits",
             "cache hit %",
+            "fused gates",
+            "panel threads",
             "sim backend",
             "elapsed µs",
         ],
@@ -444,6 +446,8 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
                 stats.after.depth.to_string(),
                 cache_hits,
                 cache_rate,
+                report.fused_gates.to_string(),
+                report.panel_threads.to_string(),
                 backend.label().to_string(),
                 fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
             ]);
@@ -1102,21 +1106,24 @@ mod tests {
         assert!(ratio > 0.0);
     }
 
-    /// Drops the wall-time column (the only nondeterministic one) from a
-    /// table's rows.
+    /// Drops the wall-time column (nondeterministic) and the panel-threads
+    /// column (run configuration, not compilation output) from a table's rows.
     fn without_elapsed(table: &Table) -> Vec<Vec<String>> {
-        let elapsed = table
+        let skipped: Vec<usize> = table
             .headers
             .iter()
-            .position(|h| h.starts_with("elapsed"))
-            .expect("table has an elapsed column");
+            .enumerate()
+            .filter(|(_, h)| h.starts_with("elapsed") || *h == "panel threads")
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!skipped.is_empty(), "table has an elapsed column");
         table
             .rows
             .iter()
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .filter(|(i, _)| *i != elapsed)
+                    .filter(|(i, _)| !skipped.contains(i))
                     .map(|(_, cell)| cell.clone())
                     .collect()
             })
@@ -1151,6 +1158,20 @@ mod tests {
             without_elapsed(&sequential_table),
             without_elapsed(&batch_table),
             "batch compilation must reproduce the sequential E11 table"
+        );
+
+        // The forced 4-worker batch leg must report its pool width.
+        let threads_column = batch_table
+            .headers
+            .iter()
+            .position(|h| h == "panel threads")
+            .unwrap();
+        assert!(
+            batch_table
+                .rows
+                .iter()
+                .all(|row| row[threads_column] == "4"),
+            "batch leg must report the configured panel-thread count"
         );
 
         // The lowering passes must report a positive cache hit-rate.

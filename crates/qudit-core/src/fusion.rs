@@ -1,0 +1,475 @@
+//! Gate fusion: grouping runs of same-support single-qudit gates so that
+//! downstream consumers touch each amplitude (or each macro gate) once per
+//! *run* instead of once per gate.
+//!
+//! Two consumers share the planner in this module:
+//!
+//! * the dense simulation engine (`qudit-sim`) compiles a circuit into a
+//!   fused program whose kernels traverse the `d^width` amplitude vector
+//!   once per group, applying the member actions back to back on the
+//!   gathered block — see [`plan_fusion`];
+//! * the `gate-fusion` pipeline pass ([`crate::pipeline::GateFusion`])
+//!   rewrites classical runs into a single composed permutation gate when
+//!   that provably does not increase the lowered G-gate cost — see
+//!   [`fuse_circuit`].
+//!
+//! # The grouping rule
+//!
+//! A gate joins an open group when it is a [`GateOp::Single`] operation with
+//! the *same target and the same control list* as the group.  A group stays
+//! open across an interleaved non-member gate only when that gate is
+//! **classical with qudit support disjoint from the group's support**
+//! (target plus control qudits).  Any other gate — non-classical, or
+//! touching the group's support — closes the group.
+//!
+//! The disjoint-classical rule is deliberately stronger than operator
+//! commutation: a classical gate on disjoint wires is a pure relocation of
+//! amplitudes that maps the group's target-stride blocks onto target-stride
+//! blocks, preserving the level order inside each block.  Delaying such a
+//! relocation past the group therefore produces **bit-identical** amplitudes
+//! (every output amplitude is the same floating-point expression over the
+//! same inputs), which is what lets the dense engine fuse across it while
+//! keeping its "fused ≡ gate-by-gate" contract exact rather than
+//! approximate.  A commuting-but-overlapping gate, or a commuting unitary on
+//! disjoint wires, would preserve the operator but reassociate the
+//! floating-point arithmetic, so it closes the group instead.
+
+use crate::circuit::Circuit;
+use crate::error::Result;
+use crate::gate::{Gate, GateOp};
+use crate::ops::{Permutation, SingleQuditOp};
+use crate::qudit::QuditId;
+
+/// One fused group: indices into the planned gate list, in time order.
+///
+/// Groups of length 1 are gates that did not fuse with anything (including
+/// every gate kind that can never be a member, such as `AddFrom`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionGroup {
+    /// Indices of the member gates, ascending.
+    pub members: Vec<usize>,
+}
+
+impl FusionGroup {
+    /// The index of the first member — the group's position in the fused
+    /// emission order.
+    pub fn first(&self) -> usize {
+        self.members[0]
+    }
+}
+
+/// The fusion plan of a gate list: every gate appears in exactly one group,
+/// and groups are ordered by their first member.
+///
+/// Emitting each group's members back to back at the position of its first
+/// member is semantics-preserving by the grouping rule (see the module
+/// docs), and bit-identical for dense simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPlan {
+    /// The groups, ordered by first member index.
+    pub groups: Vec<FusionGroup>,
+}
+
+impl FusionPlan {
+    /// Number of gates that were absorbed into a larger group — the
+    /// traversal (or macro-gate) savings of the plan.
+    pub fn fused_gates(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len() - 1).sum()
+    }
+}
+
+/// An open (still growing) group during planning.
+struct OpenGroup {
+    target: QuditId,
+    controls_match: Vec<crate::control::Control>,
+    support: Vec<QuditId>,
+    members: Vec<usize>,
+}
+
+/// Plans fusion groups over a gate list (see the module docs for the rule).
+///
+/// `fuse_non_classical` controls whether non-classical `Single` operations
+/// (general unitaries) may be group members: the dense simulator fuses them
+/// at the traversal level, while the circuit-level rewrite only composes
+/// classical permutations and passes `false`.
+pub fn plan_fusion(gates: &[Gate], fuse_non_classical: bool) -> FusionPlan {
+    let mut open: Vec<OpenGroup> = Vec::new();
+    let mut groups: Vec<FusionGroup> = Vec::new();
+
+    for (index, gate) in gates.iter().enumerate() {
+        let fusable =
+            matches!(gate.op(), GateOp::Single(_)) && (fuse_non_classical || gate.is_classical());
+
+        // Join an open group with the identical (target, controls) key.
+        let joined = if fusable {
+            open.iter_mut()
+                .find(|g| g.target == gate.target() && g.controls_match == gate.controls())
+                .map(|g| g.members.push(index))
+                .is_some()
+        } else {
+            false
+        };
+
+        // Every open group this gate is *not* a member of sees it as an
+        // interleaved gate: keep the group open only across classical gates
+        // on disjoint wires.
+        let qudits = gate.qudits();
+        let last = if joined { Some(index) } else { None };
+        open.retain_mut(|g| {
+            if g.members.last() == last.as_ref() {
+                return true; // the group it just joined
+            }
+            let keep = gate.is_classical() && qudits.iter().all(|q| !g.support.contains(q));
+            if !keep {
+                groups.push(FusionGroup {
+                    members: std::mem::take(&mut g.members),
+                });
+            }
+            keep
+        });
+
+        if !joined {
+            if fusable {
+                open.push(OpenGroup {
+                    target: gate.target(),
+                    controls_match: gate.controls().to_vec(),
+                    support: gate.qudits(),
+                    members: vec![index],
+                });
+            } else {
+                groups.push(FusionGroup {
+                    members: vec![index],
+                });
+            }
+        }
+    }
+    for g in open {
+        groups.push(FusionGroup { members: g.members });
+    }
+    groups.sort_by_key(FusionGroup::first);
+    FusionPlan { groups }
+}
+
+/// The lowered G-gate cost proxy of a classical single-qudit operation: the
+/// number of transpositions it decomposes into.  Gates in a group share
+/// their control list, so the per-transposition control overhead is a
+/// common factor and transposition counts compare fused against unfused
+/// runs exactly.
+fn transposition_cost(op: &SingleQuditOp, dimension: crate::Dimension) -> Result<usize> {
+    Ok(op.transpositions(dimension)?.len())
+}
+
+/// The most specific [`SingleQuditOp`] implementing a permutation: a single
+/// transposition becomes [`SingleQuditOp::Swap`], a cyclic shift becomes
+/// [`SingleQuditOp::Add`], everything else stays a general
+/// [`SingleQuditOp::Perm`].
+fn canonical_op(permutation: Permutation) -> SingleQuditOp {
+    let transpositions = permutation.transpositions();
+    if transpositions.len() == 1 {
+        let (i, j) = transpositions[0];
+        return SingleQuditOp::Swap(i, j);
+    }
+    let d = permutation.len() as u32;
+    let shift = permutation.apply(0);
+    if (0..d).all(|level| permutation.apply(level) == (level + shift) % d) {
+        return SingleQuditOp::Add(shift);
+    }
+    SingleQuditOp::Perm(permutation)
+}
+
+/// Rewrites classical fusion runs of a circuit into single composed gates,
+/// returning the fused circuit and the number of gates removed.
+///
+/// A run is rewritten only when that provably does not increase the lowered
+/// G-gate cost:
+///
+/// * a run composing to the **identity** is dropped entirely (a controlled
+///   identity is the identity);
+/// * otherwise the composed permutation replaces the run only when its
+///   transposition count is *strictly smaller* than the member total, and
+///   is emitted as the most specific operation (`Swap`, `Add`, or `Perm`);
+/// * runs that would not shrink are left exactly as written, so the pass
+///   never regresses the paper's gate counts.
+///
+/// Non-classical gates, `AddFrom` gates, and gates with no same-support
+/// neighbours pass through unchanged (in plan emission order, which only
+/// reorders across disjoint classical gates — semantics-preserving by the
+/// rule in the module docs).
+///
+/// # Errors
+///
+/// Returns an error when a gate of the circuit is invalid for its register.
+pub fn fuse_circuit(circuit: &Circuit) -> Result<Circuit> {
+    let dimension = circuit.dimension();
+    let gates = circuit.gates();
+    let plan = plan_fusion(gates, false);
+    let mut out = Circuit::new(dimension, circuit.width());
+    for group in &plan.groups {
+        if group.members.len() == 1 {
+            out.push(gates[group.members[0]].clone())?;
+            continue;
+        }
+        let mut composed = Permutation::identity(dimension);
+        let mut member_cost = 0usize;
+        for &index in &group.members {
+            let GateOp::Single(op) = gates[index].op() else {
+                unreachable!("multi-gate groups only contain Single members");
+            };
+            member_cost += transposition_cost(op, dimension)?;
+            // Members apply first-to-last: the run's permutation is
+            // `p_last ∘ … ∘ p_first`.
+            composed = op.to_permutation(dimension)?.compose(&composed);
+        }
+        if composed.is_identity() {
+            continue;
+        }
+        let fused_cost = composed.transpositions().len();
+        if fused_cost < member_cost {
+            let template = &gates[group.first()];
+            out.push(Gate::new(
+                GateOp::Single(canonical_op(composed)),
+                template.target(),
+                template.controls().to_vec(),
+            ))?;
+        } else {
+            for &index in &group.members {
+                out.push(gates[index].clone())?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+    use crate::dimension::Dimension;
+    use crate::math::{Complex, SquareMatrix};
+
+    fn dim(d: u32) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn fourier(d: u32) -> SquareMatrix {
+        let omega = Complex::from_phase(2.0 * std::f64::consts::PI / f64::from(d));
+        let s = 1.0 / f64::from(d).sqrt();
+        let mut entries = Vec::new();
+        for r in 0..d {
+            for c in 0..d {
+                let mut w = Complex::ONE;
+                for _ in 0..(r * c) {
+                    w *= omega;
+                }
+                entries.push(w.scale(s));
+            }
+        }
+        SquareMatrix::from_rows(d as usize, entries).unwrap()
+    }
+
+    #[test]
+    fn adjacent_same_support_gates_fuse() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 2);
+        let controls = vec![Control::zero(QuditId::new(0))];
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                controls.clone(),
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                controls,
+            ))
+            .unwrap();
+        let plan = plan_fusion(circuit.gates(), true);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].members, vec![0, 1]);
+        assert_eq!(plan.fused_gates(), 1);
+    }
+
+    #[test]
+    fn differing_controls_do_not_fuse() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 2);
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::zero(QuditId::new(0))],
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::level(QuditId::new(0), 1)],
+            ))
+            .unwrap();
+        let plan = plan_fusion(circuit.gates(), true);
+        assert_eq!(plan.groups.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_classical_gates_keep_groups_open() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 3);
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        // Classical, disjoint: the q0 group survives.
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(1)))
+            .unwrap();
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        let plan = plan_fusion(circuit.gates(), true);
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.groups[0].members, vec![0, 2]);
+        assert_eq!(plan.groups[1].members, vec![1]);
+    }
+
+    #[test]
+    fn overlapping_or_non_classical_gates_split_groups() {
+        let d = dim(3);
+        // Overlap through a control wire.
+        let mut overlap = Circuit::new(d, 2);
+        overlap
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        overlap
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::zero(QuditId::new(0))],
+            ))
+            .unwrap();
+        overlap
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        let plan = plan_fusion(overlap.gates(), true);
+        assert_eq!(plan.groups.len(), 3, "overlapping support must split");
+
+        // A disjoint but non-classical gate also splits.
+        let mut unitary = Circuit::new(d, 2);
+        unitary
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        unitary
+            .push(Gate::single(
+                SingleQuditOp::Unitary(fourier(3)),
+                QuditId::new(1),
+            ))
+            .unwrap();
+        unitary
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        let plan = plan_fusion(unitary.gates(), true);
+        assert_eq!(plan.groups.len(), 3, "non-classical gates must split");
+    }
+
+    #[test]
+    fn fuse_circuit_drops_identity_runs() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 2);
+        let controls = vec![Control::zero(QuditId::new(0))];
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Swap(0, 2),
+                QuditId::new(1),
+                controls.clone(),
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Swap(0, 2),
+                QuditId::new(1),
+                controls,
+            ))
+            .unwrap();
+        let fused = fuse_circuit(&circuit).unwrap();
+        assert!(fused.is_empty());
+    }
+
+    #[test]
+    fn fuse_circuit_composes_shifts_into_one_add() {
+        let d = dim(5);
+        let mut circuit = Circuit::new(d, 1);
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))
+            .unwrap();
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(2), QuditId::new(0)))
+            .unwrap();
+        let fused = fuse_circuit(&circuit).unwrap();
+        assert_eq!(fused.len(), 1);
+        assert_eq!(
+            fused.gates()[0].op(),
+            &GateOp::Single(SingleQuditOp::Add(4))
+        );
+        // Semantics are preserved on every basis state.
+        for level in 0..5 {
+            assert_eq!(
+                circuit.apply_to_basis(&[level]).unwrap(),
+                fused.apply_to_basis(&[level]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fuse_circuit_keeps_runs_that_would_not_shrink() {
+        let d = dim(4);
+        let mut circuit = Circuit::new(d, 1);
+        // X01 then X23: composed permutation still needs two transpositions,
+        // so the original gates stay as written.
+        circuit
+            .push(Gate::single(SingleQuditOp::Swap(0, 1), QuditId::new(0)))
+            .unwrap();
+        circuit
+            .push(Gate::single(SingleQuditOp::Swap(2, 3), QuditId::new(0)))
+            .unwrap();
+        let fused = fuse_circuit(&circuit).unwrap();
+        assert_eq!(fused, circuit);
+    }
+
+    #[test]
+    fn fuse_circuit_preserves_basis_semantics_on_mixed_circuits() {
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 3);
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        circuit
+            .push(Gate::add_from(
+                QuditId::new(0),
+                false,
+                QuditId::new(1),
+                vec![],
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(2), QuditId::new(2)))
+            .unwrap();
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(2)))
+            .unwrap();
+        let fused = fuse_circuit(&circuit).unwrap();
+        // The two shifts on q2 compose to the identity and vanish.
+        assert_eq!(fused.len(), 2);
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    assert_eq!(
+                        circuit.apply_to_basis(&[a, b, c]).unwrap(),
+                        fused.apply_to_basis(&[a, b, c]).unwrap()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -64,6 +64,7 @@ pub mod depth;
 pub mod diagram;
 mod dimension;
 mod error;
+pub mod fusion;
 mod gate;
 pub mod lowering;
 pub mod math;

@@ -468,6 +468,9 @@ pub struct MergedPassStats {
     pub depth_before: usize,
     /// Summed output depth across jobs.
     pub depth_after: usize,
+    /// Total gates removed by fusion across jobs (non-zero only for the
+    /// `gate-fusion` stage and its verified wrapper).
+    pub fused_gates: usize,
     /// Total wall-clock time across jobs.
     pub elapsed: Duration,
     /// Summed cache tally (`None` when the batch ran uncached).
@@ -524,6 +527,7 @@ pub fn merge_pass_stats<'a>(
                     g_gates_after: 0,
                     depth_before: 0,
                     depth_after: 0,
+                    fused_gates: 0,
                     elapsed: Duration::ZERO,
                     cache: None,
                 });
@@ -540,6 +544,9 @@ pub fn merge_pass_stats<'a>(
             entry.g_gates_after += stats.after.g_gates;
             entry.depth_before += stats.before.depth;
             entry.depth_after += stats.after.depth;
+            if matches!(stats.pass.as_str(), "gate-fusion" | "verify(gate-fusion)") {
+                entry.fused_gates += stats.before.gates.saturating_sub(stats.after.gates);
+            }
             entry.elapsed += stats.elapsed;
             if let Some(cache) = stats.cache {
                 entry
@@ -937,11 +944,12 @@ impl PassRegistry {
         }
     }
 
-    /// The registry of the core passes: `lower-to-g-gates`
-    /// ([`LowerToGGates`]), `cancel-inverse-pairs` ([`CancelInversePairs`])
-    /// and `schedule-depth` ([`ScheduleDepth`]).
+    /// The registry of the core passes: `gate-fusion` ([`GateFusion`]),
+    /// `lower-to-g-gates` ([`LowerToGGates`]), `cancel-inverse-pairs`
+    /// ([`CancelInversePairs`]) and `schedule-depth` ([`ScheduleDepth`]).
     pub fn core() -> Self {
         let mut registry = PassRegistry::new();
+        registry.register("gate-fusion", || Box::new(GateFusion));
         registry.register("lower-to-g-gates", || Box::new(LowerToGGates));
         registry.register("cancel-inverse-pairs", || Box::new(CancelInversePairs));
         registry.register("schedule-depth", || Box::new(ScheduleDepth));
@@ -1003,6 +1011,26 @@ impl fmt::Debug for PassRegistry {
         f.debug_struct("PassRegistry")
             .field("stages", &self.names())
             .finish()
+    }
+}
+
+/// Pass composing runs of same-support classical single-qudit gates into
+/// one permutation gate (wraps [`crate::fusion::fuse_circuit`]).
+///
+/// Runs are rewritten only when the composed permutation strictly lowers
+/// the transposition count (or is the identity, where the run is dropped),
+/// so the pass never increases the lowered G-gate cost.  It runs best on
+/// macro-level circuits, before `lower-to-g-gates` breaks the runs apart.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateFusion;
+
+impl Pass for GateFusion {
+    fn name(&self) -> &str {
+        "gate-fusion"
+    }
+
+    fn run(&self, circuit: Circuit) -> Result<Circuit> {
+        crate::fusion::fuse_circuit(&circuit)
     }
 }
 

@@ -8,7 +8,10 @@
 //!   simulation of the permutation circuits produced by the synthesis
 //!   algorithms, plus full permutation-table extraction;
 //! * [`StateVector`] and [`statevector`] — state-vector simulation supporting
-//!   arbitrary controlled unitaries;
+//!   arbitrary controlled unitaries (the scalar reference walk);
+//! * [`FusedProgram`] and [`dense`] — the cache-blocked dense engine: gate
+//!   fusion, split-complex panel kernels and pool-parallel block dispatch,
+//!   exact (`==`-equal) against the reference walk;
 //! * [`SparseState`], [`SimState`] and [`sparse`] — the sparse amplitude-map
 //!   engine with a classical-gate fast path in `O(nnz)`, the hybrid
 //!   sparse-then-dense engine behind it, and the [`SimBackend`] dispatch
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod basis;
+pub mod dense;
 pub mod equivalence;
 pub mod permutation_sim;
 pub mod pipeline;
@@ -54,6 +58,7 @@ mod sampling;
 pub mod sparse;
 pub mod statevector;
 
+pub use dense::FusedProgram;
 pub use equivalence::{MctSpec, Verification};
 pub use permutation_sim::{circuit_permutation, classical_circuits_equal, PermutationSimulator};
 pub use pipeline::VerifyEquivalence;

@@ -265,18 +265,22 @@ impl VerifyEquivalence {
                 let amplitudes: Vec<qudit_core::math::Complex> =
                     amplitudes.iter().map(|a| a.scale(1.0 / norm)).collect();
                 // Routed through the hybrid engine for uniformity; a dense
-                // random input resolves to the dense representation, so the
-                // arithmetic matches the pre-backend behaviour exactly.
+                // random input resolves to the dense representation, where
+                // the fused panel engine runs — fanned over the run's
+                // pinned pool on registers large enough to pay (never
+                // nested inside a batch worker; the fused result is
+                // byte-identical for every pool width).
+                let sim_pool = pinned_pool.as_ref();
                 let mut state_before = SimState::from_statevector(
                     StateVector::from_amplitudes(dimension, before.width(), amplitudes.clone())?,
                     self.backend,
                 );
-                state_before.apply_circuit(before)?;
+                state_before.apply_circuit_on(before, sim_pool)?;
                 let mut state_after = SimState::from_statevector(
                     StateVector::from_amplitudes(dimension, before.width(), amplitudes)?,
                     self.backend,
                 );
-                state_after.apply_circuit(after)?;
+                state_after.apply_circuit_on(after, sim_pool)?;
                 let state_before = state_before.into_statevector();
                 let state_after = state_after.into_statevector();
                 if (state_before.fidelity(&state_after) - 1.0).abs() > 1e-9 {

@@ -12,10 +12,17 @@
 //!
 //! [`SimState`] is the hybrid engine used by [`simulate_basis`] and
 //! [`circuit_unitary_with`]: it starts sparse and switches to the dense
-//! in-place engine the moment a non-classical gate appears (or the state
-//! stops being sparse).  Because classical gates only *move* amplitudes and
-//! the dense engine takes over before any arithmetic mixes them, the hybrid
-//! result is bit-identical to a dense-only simulation of the same circuit.
+//! engine when **block-level nnz tracking** predicts the sparse
+//! representation stops paying.  Classical gates only move amplitudes, so
+//! they stay sparse while the stored amplitudes fit the nnz budget; a
+//! non-classical gate mixes each occupied target block into at most `d`
+//! nonzeros, so it stays sparse exactly when that worst-case growth
+//! ([`SparseState::occupied_blocks`]` × d`) still fits.  `AddFrom`-heavy
+//! arithmetic circuits on superposed inputs therefore remain on the
+//! `O(nnz)` fast path instead of densifying at the first unitary.  Once
+//! dense, the remaining gates run through the fused panel engine
+//! ([`FusedProgram`]).  All routes produce `==`-equal amplitudes (bit
+//! patterns can differ only in the sign of stored IEEE zeros).
 //!
 //! Which engine a circuit gets is decided by [`SimBackend`]: `Dense` and
 //! `Sparse` force one engine, `Auto` picks per circuit via a classicality
@@ -24,9 +31,11 @@
 use std::collections::HashMap;
 
 use qudit_core::math::{Complex, SquareMatrix};
-use qudit_core::{Circuit, Dimension, Gate, GateOp, QuditError, Result, SingleQuditOp};
+use qudit_core::pool::WorkStealingPool;
+use qudit_core::{Circuit, Dimension, Gate, GateOp, QuditError, QuditId, Result, SingleQuditOp};
 
 use crate::basis::{digits_to_index, index_to_digits};
+use crate::dense::FusedProgram;
 use crate::statevector::StateVector;
 
 /// The digit of the qudit with the given stride in a mixed-radix index.
@@ -47,8 +56,8 @@ fn digit_at(index: usize, stride: usize, d: usize) -> u32 {
 ///   non-empty classical prefix go sparse, circuits that open with a
 ///   non-classical gate go dense.
 ///
-/// Both engines produce bit-identical final states, so the choice is purely
-/// a performance knob.
+/// Both engines produce `==`-equal final states (identical up to the sign
+/// of stored IEEE zeros), so the choice is purely a performance knob.
 ///
 /// # Example
 ///
@@ -326,6 +335,22 @@ impl SparseState {
             .pow((self.width - 1 - qudit) as u32)
     }
 
+    /// Number of distinct target-digit blocks carrying amplitude — the
+    /// work unit (and nnz growth bound) of a single-qudit unitary on this
+    /// state: mixing expands each occupied block to at most `d` nonzeros.
+    pub fn occupied_blocks(&self, target: QuditId) -> usize {
+        let d = self.dimension.as_usize();
+        let t_stride = self.stride_of(target.index());
+        let mut bases: Vec<usize> = self
+            .amplitudes
+            .keys()
+            .map(|&index| index - digit_at(index, t_stride, d) as usize * t_stride)
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+        bases.len()
+    }
+
     /// Applies a single gate.
     ///
     /// Classical gates (level permutations, the value-controlled shifts) are
@@ -489,15 +514,42 @@ fn check_register(circuit: &Circuit, dimension: Dimension, width: usize) -> Resu
 /// nonzeros the dense walk is cheaper.
 const DENSIFY_DIVISOR: usize = 4;
 
-/// The hybrid simulation engine: sparse across the classical prefix, dense
-/// from the first non-classical gate on.
+/// Block-level nnz policy: whether the sparse engine should apply this gate
+/// or densify first.
+///
+/// * Every gate requires the stored amplitudes to still pay for the hash
+///   map: `nnz × DENSIFY_DIVISOR ≤ size`.
+/// * Classical gates (including `AddFrom`) only move amplitudes — nnz
+///   cannot grow, so the bound above is the whole test.
+/// * A non-classical gate mixes each occupied target block into at most
+///   `d` nonzeros, so it stays sparse only when that worst-case growth
+///   ([`SparseState::occupied_blocks`]` × d`) still satisfies the bound.
+fn sparse_can_apply(state: &SparseState, gate: &Gate) -> bool {
+    let size = state.dimension().register_size(state.width());
+    if state.nnz().saturating_mul(DENSIFY_DIVISOR) > size {
+        return false;
+    }
+    if gate.is_classical() {
+        return true;
+    }
+    state
+        .occupied_blocks(gate.target())
+        .saturating_mul(state.dimension().as_usize())
+        .saturating_mul(DENSIFY_DIVISOR)
+        <= size
+}
+
+/// The hybrid simulation engine: sparse while the block-level nnz tracking
+/// says sparsity pays, dense (fused panel kernels) from then on.
 ///
 /// The state starts in the representation the [`SimBackend`] picks and
-/// switches to the dense in-place engine the moment a non-classical gate
-/// appears (or the stored amplitudes grow past a quarter of the register,
-/// where the hash map stops paying for itself).  Classical gates only move
-/// amplitudes, so the hybrid final state is **bit-identical** to a dense
-/// simulation of the same circuit on the same input.
+/// switches to the dense engine when a gate would overflow the nnz budget:
+/// classical gates never grow nnz, and a non-classical gate grows it to at
+/// most [`SparseState::occupied_blocks`]` × d`, so `AddFrom`-heavy circuits
+/// on superposed inputs stay on the `O(nnz)` fast path.  Every route
+/// produces amplitudes `==`-equal to a dense gate-by-gate simulation of the
+/// same circuit on the same input (stored bit patterns can differ only in
+/// the sign of IEEE zeros).
 ///
 /// # Example
 ///
@@ -585,16 +637,19 @@ impl SimState {
         }
     }
 
-    /// Applies a gate, switching from sparse to dense on the first
-    /// non-classical gate (and when the state grows too dense).
+    /// Applies a gate, switching from sparse to dense when the block-level
+    /// nnz tracking predicts the sparse representation stops paying (see
+    /// [`SparseState::occupied_blocks`]): classical gates stay sparse while
+    /// the stored amplitudes fit the nnz budget, non-classical gates
+    /// additionally require their worst-case growth (occupied target
+    /// blocks × `d`) to fit.
     ///
     /// # Errors
     ///
     /// Returns an error when the gate refers to qudits outside the register.
     pub fn apply_gate(&mut self, gate: &Gate) -> Result<()> {
         if let Repr::Sparse(state) = &mut self.repr {
-            let size = state.dimension().register_size(state.width());
-            if gate.is_classical() && state.nnz().saturating_mul(DENSIFY_DIVISOR) <= size {
+            if sparse_can_apply(state, gate) {
                 return state.apply_gate(gate);
             }
             self.repr = Repr::Dense(state.to_statevector());
@@ -605,20 +660,56 @@ impl SimState {
         }
     }
 
-    /// Applies every gate of a circuit in order.
+    /// Applies every gate of a circuit in order: gate by gate while the
+    /// sparse representation pays, then — after the densify point — the
+    /// remaining gates are compiled into a [`FusedProgram`] and run through
+    /// the cache-blocked dense engine in one pass.
     ///
     /// # Errors
     ///
     /// Returns an error when the circuit does not match the register or a
     /// gate is invalid.
     pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<()> {
+        self.apply_circuit_on(circuit, None)
+    }
+
+    /// [`SimState::apply_circuit`] with an optional worker pool for the
+    /// dense suffix: once the state densifies, the fused program fans
+    /// independent amplitude panels over `pool` (see
+    /// [`StateVector::apply_fused_on`]) with byte-identical results for
+    /// every pool width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit does not match the register or a
+    /// gate is invalid.
+    pub fn apply_circuit_on(
+        &mut self,
+        circuit: &Circuit,
+        pool: Option<&WorkStealingPool>,
+    ) -> Result<()> {
         let (dimension, width) = match &self.repr {
             Repr::Sparse(state) => (state.dimension(), state.width()),
             Repr::Dense(state) => (state.dimension(), state.width()),
         };
         check_register(circuit, dimension, width)?;
-        for gate in circuit.gates() {
-            self.apply_gate(gate)?;
+        let gates = circuit.gates();
+        let mut next = 0;
+        while next < gates.len() {
+            if let Repr::Sparse(state) = &mut self.repr {
+                let gate = &gates[next];
+                if sparse_can_apply(state, gate) {
+                    state.apply_gate(gate)?;
+                    next += 1;
+                    continue;
+                }
+                self.repr = Repr::Dense(state.to_statevector());
+            }
+            let Repr::Dense(state) = &mut self.repr else {
+                unreachable!("sparse case handled above");
+            };
+            let program = FusedProgram::compile_gates(dimension, width, &gates[next..])?;
+            return state.apply_fused_on(&program, pool);
         }
         Ok(())
     }
@@ -676,7 +767,7 @@ impl SimState {
 /// returning the (dense) final state.
 ///
 /// `Auto` resolves per circuit via [`SimBackend::resolve`]; all three
-/// backends return bit-identical states.
+/// backends return `==`-equal states.
 ///
 /// # Errors
 ///
@@ -707,13 +798,30 @@ pub fn simulate_basis(
     digits: &[u32],
     backend: SimBackend,
 ) -> Result<StateVector> {
+    simulate_basis_on(circuit, digits, backend, None)
+}
+
+/// [`simulate_basis`] with an optional worker pool for the dense phase of
+/// the simulation (see [`SimState::apply_circuit_on`]); byte-identical to
+/// the sequential run for every pool width.
+///
+/// # Errors
+///
+/// Returns an error when the input does not match the circuit's register or
+/// a gate is invalid.
+pub fn simulate_basis_on(
+    circuit: &Circuit,
+    digits: &[u32],
+    backend: SimBackend,
+    pool: Option<&WorkStealingPool>,
+) -> Result<StateVector> {
     if digits.len() < circuit.width() {
         return Err(QuditError::IncompatibleCircuits {
             reason: "input state is narrower than the circuit".to_string(),
         });
     }
     let mut state = SimState::from_basis(circuit.dimension(), digits, backend.resolve(circuit))?;
-    state.apply_circuit(circuit)?;
+    state.apply_circuit_on(circuit, pool)?;
     Ok(state.into_statevector())
 }
 
@@ -721,7 +829,7 @@ pub fn simulate_basis(
 /// backend.
 ///
 /// The matrix has size `d^width`; only use this for small registers.  All
-/// backends produce bit-identical matrices — `Sparse`/`Auto` just skip the
+/// backends produce `==`-equal matrices — `Sparse`/`Auto` just skip the
 /// dead amplitudes during classical prefixes, which dominates the cost for
 /// the paper's constructions.
 ///

@@ -120,6 +120,11 @@ impl StateVector {
         &self.amplitudes
     }
 
+    /// Mutable access to the raw amplitudes for the fused dense engine.
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amplitudes
+    }
+
     /// The amplitude of a basis state.
     pub fn amplitude(&self, digits: &[u32]) -> Complex {
         self.amplitudes[digits_to_index(digits, self.dimension)]
@@ -315,7 +320,7 @@ impl StateVector {
 /// on the [`Auto`](crate::SimBackend::Auto) backend: circuits with a
 /// classical prefix are simulated sparsely over that prefix (every column
 /// input is a basis state, so the prefix costs `O(1)` per gate instead of
-/// `O(d^width)`), with a bit-identical result.
+/// `O(d^width)`), with an `==`-equal result.
 ///
 /// # Errors
 ///

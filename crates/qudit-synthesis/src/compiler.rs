@@ -145,6 +145,7 @@ pub enum OptLevel {
 /// assert_eq!(
 ///     options.compiler().pass_names(),
 ///     vec![
+///         "verify(gate-fusion)",
 ///         "verify(lower-to-elementary)",
 ///         "verify(lower-to-g-gates)",
 ///         "verify(cancel-inverse-pairs)",
@@ -156,6 +157,7 @@ pub enum OptLevel {
 pub struct CompileOptions {
     verify: Verify,
     backend: SimBackend,
+    fusion: bool,
     cancel: bool,
     schedule: bool,
     cache: CacheMode,
@@ -168,6 +170,7 @@ impl Default for CompileOptions {
         CompileOptions {
             verify: Verify::Off,
             backend: SimBackend::Auto,
+            fusion: true,
             cancel: true,
             schedule: false,
             cache: CacheMode::Off,
@@ -203,6 +206,17 @@ impl CompileOptions {
         self
     }
 
+    /// Enables or disables the macro-level gate-fusion stage (default on;
+    /// off at [`OptLevel::O0`]).  Fusion composes runs of same-support
+    /// classical gates into one permutation gate *before* lowering, and
+    /// only rewrites a run when that provably does not increase the lowered
+    /// G-gate cost.
+    #[must_use]
+    pub fn fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
     /// Enables or disables the final inverse-pair cancellation stage
     /// (default on).
     #[must_use]
@@ -224,9 +238,9 @@ impl CompileOptions {
     #[must_use]
     pub fn opt_level(self, level: OptLevel) -> Self {
         match level {
-            OptLevel::O0 => self.cancel(false).schedule(false),
-            OptLevel::O1 => self.cancel(true).schedule(false),
-            OptLevel::O2 => self.cancel(true).schedule(true),
+            OptLevel::O0 => self.fusion(false).cancel(false).schedule(false),
+            OptLevel::O1 => self.fusion(true).cancel(true).schedule(false),
+            OptLevel::O2 => self.fusion(true).cancel(true).schedule(true),
         }
     }
 
@@ -264,6 +278,11 @@ impl CompileOptions {
         self.backend
     }
 
+    /// Whether the gate-fusion stage is enabled.
+    pub fn fuses(&self) -> bool {
+        self.fusion
+    }
+
     /// Whether the cancellation stage is enabled.
     pub fn cancels(&self) -> bool {
         self.cancel
@@ -292,7 +311,13 @@ impl CompileOptions {
     /// The data-driven pipeline description these options select — the
     /// stage list handed to [`registry`] for assembly.
     pub fn spec(&self) -> PipelineSpec {
-        let mut spec = PipelineSpec::new()
+        let mut spec = PipelineSpec::new();
+        if self.fusion {
+            // Fusion runs first, at the macro level, where same-support
+            // runs are still visible (lowering breaks them apart).
+            spec = spec.with_stage("gate-fusion");
+        }
+        spec = spec
             .with_stage("lower-to-elementary")
             .with_stage("lower-to-g-gates");
         if self.cancels() {
@@ -399,12 +424,18 @@ pub struct CompileResult {
     /// Lowering-cache tally summed over every pass — `Some` whenever the
     /// options enabled a cache, `None` otherwise.
     pub cache: Option<CacheCounters>,
+    /// Gates removed by the macro-level `gate-fusion` stage (zero when the
+    /// stage was disabled or found nothing profitable to fuse).
+    pub fused_gates: usize,
+    /// Worker count the dense panel engine dispatches over for this
+    /// compilation's thread mode — the resolved [`Threads`] width.
+    pub panel_threads: usize,
     /// Whether the compilation was verified (see [`Verify`]).
     pub verification: VerifyOutcome,
 }
 
 impl CompileResult {
-    fn from_report(report: PipelineReport, verify: Verify) -> Self {
+    fn from_report(report: PipelineReport, verify: Verify, panel_threads: usize) -> Self {
         let mut cache: Option<CacheCounters> = None;
         for stats in &report.stats {
             if let Some(tally) = stats.cache {
@@ -420,11 +451,19 @@ impl CompileResult {
             .last()
             .map(|stats| stats.after.depth)
             .unwrap_or_else(|| circuit_depth(&report.circuit));
+        let fused_gates = report
+            .stats
+            .iter()
+            .filter(|stats| matches!(stats.pass.as_str(), "gate-fusion" | "verify(gate-fusion)"))
+            .map(|stats| stats.before.gates.saturating_sub(stats.after.gates))
+            .sum();
         CompileResult {
             depth,
             circuit: report.circuit,
             stats: report.stats,
             cache,
+            fused_gates,
+            panel_threads,
             verification: match verify {
                 Verify::Off => VerifyOutcome::Skipped,
                 verified => VerifyOutcome::Verified(verified),
@@ -589,7 +628,21 @@ impl Compiler {
     /// ([`CompileOptions::shape`]).
     pub fn compile(&self, circuit: &Circuit) -> qudit_core::Result<CompileResult> {
         let report = self.manager.run(circuit.clone())?;
-        Ok(CompileResult::from_report(report, self.options.verify))
+        Ok(CompileResult::from_report(
+            report,
+            self.options.verify,
+            self.panel_threads(),
+        ))
+    }
+
+    /// The worker count the dense panel engine resolves the compiler's
+    /// [`Threads`] mode to: `Fixed(n)` clamps to at least one worker, `Auto`
+    /// sizes from the environment exactly like the pool itself does.
+    pub fn panel_threads(&self) -> usize {
+        match self.options.threads {
+            Threads::Auto => WorkStealingPool::default().threads(),
+            Threads::Fixed(threads) => threads.max(1),
+        }
     }
 
     /// Compiles many circuits concurrently on the compiler's pool
@@ -602,11 +655,14 @@ impl Compiler {
     pub fn compile_batch(&self, circuits: &[Circuit]) -> qudit_core::Result<BatchResult> {
         let pool = self.manager.pool().unwrap_or_default();
         let batch = self.manager.run_batch_refs(circuits, &pool)?;
+        let panel_threads = self.panel_threads();
         Ok(BatchResult {
             results: batch
                 .reports
                 .into_iter()
-                .map(|report| CompileResult::from_report(report, self.options.verify))
+                .map(|report| {
+                    CompileResult::from_report(report, self.options.verify, panel_threads)
+                })
                 .collect(),
         })
     }
@@ -637,6 +693,7 @@ mod tests {
         assert_eq!(
             spec.stages,
             vec![
+                "gate-fusion",
                 "lower-to-elementary",
                 "lower-to-g-gates",
                 "cancel-inverse-pairs"
@@ -656,6 +713,7 @@ mod tests {
         assert_eq!(
             stages(OptLevel::O1),
             vec![
+                "gate-fusion",
                 "lower-to-elementary",
                 "lower-to-g-gates",
                 "cancel-inverse-pairs"
@@ -664,6 +722,7 @@ mod tests {
         assert_eq!(
             stages(OptLevel::O2),
             vec![
+                "gate-fusion",
                 "lower-to-elementary",
                 "lower-to-g-gates",
                 "cancel-inverse-pairs",
@@ -681,11 +740,13 @@ mod tests {
             .compiler();
         let result = compiler.compile(synthesis.circuit()).unwrap();
         assert!(result.circuit.gates().iter().all(Gate::is_g_gate));
-        assert_eq!(result.stats.len(), 3);
+        assert_eq!(result.stats.len(), 4);
         assert_eq!(result.depth, circuit_depth(&result.circuit));
         assert!(result.cache.expect("cache enabled").total() > 0);
         assert_eq!(result.verification, VerifyOutcome::Skipped);
+        assert!(result.stats_for("gate-fusion").is_some());
         assert!(result.stats_for("cancel-inverse-pairs").is_some());
+        assert!(result.panel_threads >= 1);
         assert!(result.to_string().contains("verification skipped"));
 
         // Shape pinning rejects mismatched circuits.
@@ -736,7 +797,7 @@ mod tests {
         assert!(!batch.is_empty());
         assert!(!batch.is_verified());
         let merged = batch.merged_stats();
-        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.len(), 4);
         assert_eq!(merged[0].jobs, 3);
         assert!(batch.cache_counters().total() > 0);
         assert!(batch.to_string().contains("batch of 3 circuits"));

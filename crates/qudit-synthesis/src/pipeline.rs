@@ -414,14 +414,17 @@ mod tests {
             let width = synthesis.layout().width;
             let macro_circuit = synthesis.circuit().clone();
 
+            // The standard flow now opens with macro-level gate fusion, so
+            // the manual chain starts from the fused circuit.
+            let fused = qudit_core::fusion::fuse_circuit(&macro_circuit).unwrap();
             let manual = qudit_core::optimize::cancel_inverse_pairs(
-                &lower::lower_to_g_gates(&macro_circuit).unwrap(),
+                &lower::lower_to_g_gates(&fused).unwrap(),
             );
             let report = Pipeline::standard(dim(d), width)
                 .run(macro_circuit)
                 .unwrap();
             assert_eq!(report.circuit, manual, "d={d}");
-            assert_eq!(report.stats.len(), 3);
+            assert_eq!(report.stats.len(), 4);
         }
     }
 
@@ -474,7 +477,15 @@ mod tests {
         let synthesis = KToffoli::new(dim(3), 3).unwrap().synthesize().unwrap();
         manager.run(synthesis.circuit().clone()).unwrap();
         let second = manager.run(synthesis.circuit().clone()).unwrap();
-        let counters = second.stats[0].cache.expect("caching enabled");
+        // Cache counters accrue on the lowering stages (gate-fusion, the
+        // flow's first pass, never consults the lowering cache).
+        let counters = second
+            .stats
+            .iter()
+            .find(|s| s.pass == "lower-to-elementary")
+            .unwrap()
+            .cache
+            .expect("caching enabled");
         assert_eq!(counters.misses, 0, "second run must hit the shared cache");
         assert!(counters.hits > 0);
         assert!(cache.counters().hits > 0, "hits land in the caller's cache");
@@ -498,13 +509,13 @@ mod tests {
             let scheduled = Pipeline::standard_scheduled(dim(d), width)
                 .run(synthesis.circuit().clone())
                 .unwrap();
-            assert_eq!(scheduled.stats.len(), 4);
-            assert_eq!(scheduled.stats[3].pass, "schedule-depth");
+            assert_eq!(scheduled.stats.len(), 5);
+            assert_eq!(scheduled.stats[4].pass, "schedule-depth");
             // The scheduler permutes, never rewrites: same multiset of gates.
             assert_eq!(scheduled.circuit.len(), plain.circuit.len());
             assert_eq!(
-                scheduled.stats[3].before.gates,
-                scheduled.stats[3].after.gates
+                scheduled.stats[4].before.gates,
+                scheduled.stats[4].after.gates
             );
             assert!(
                 circuit_depth(&scheduled.circuit) <= circuit_depth(&plain.circuit),
@@ -536,6 +547,7 @@ mod tests {
         assert_eq!(
             manager.pass_names(),
             vec![
+                "gate-fusion",
                 "lower-to-elementary",
                 "lower-to-g-gates",
                 "cancel-inverse-pairs",

@@ -57,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- The compilation pipeline ------------------------------------------
-    // The full paper flow (macro -> elementary -> G-gates -> cancellation)
-    // runs as a PassManager pipeline with per-pass statistics.
+    // The full paper flow (macro -> fusion -> elementary -> G-gates ->
+    // cancellation) runs as a PassManager pipeline with per-pass statistics.
     println!("\nStandard pipeline on the 4-controlled Toffoli (d = 3):");
     let report = odd.compile()?;
     for stats in &report.stats {

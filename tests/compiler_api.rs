@@ -205,43 +205,50 @@ fn every_knob_combination_assembles() {
     let mut combinations = 0usize;
     for verify in verifies {
         for backend in backends {
-            for cancel in [true, false] {
-                for schedule in [true, false] {
-                    for cache in caches() {
-                        for thread in threads {
-                            let options = CompileOptions::new()
-                                .verify(verify)
-                                .backend(backend)
-                                .cancel(cancel)
-                                .schedule(schedule)
-                                .cache(cache.clone())
-                                .threads(thread);
-                            let manager = options.build_manager();
+            for fusion in [true, false] {
+                for cancel in [true, false] {
+                    for schedule in [true, false] {
+                        for cache in caches() {
+                            for thread in threads {
+                                let options = CompileOptions::new()
+                                    .verify(verify)
+                                    .backend(backend)
+                                    .fusion(fusion)
+                                    .cancel(cancel)
+                                    .schedule(schedule)
+                                    .cache(cache.clone())
+                                    .threads(thread);
+                                let manager = options.build_manager();
 
-                            // The pass list is exactly what the knobs select.
-                            let mut expected = vec!["lower-to-elementary", "lower-to-g-gates"];
-                            if cancel {
-                                expected.push("cancel-inverse-pairs");
+                                // The pass list is exactly what the knobs select.
+                                let mut expected = Vec::new();
+                                if fusion {
+                                    expected.push("gate-fusion");
+                                }
+                                expected.extend(["lower-to-elementary", "lower-to-g-gates"]);
+                                if cancel {
+                                    expected.push("cancel-inverse-pairs");
+                                }
+                                if schedule {
+                                    expected.push("schedule-depth");
+                                }
+                                let expected: Vec<String> = expected
+                                    .iter()
+                                    .map(|stage| match verify {
+                                        Verify::Off => stage.to_string(),
+                                        _ => format!("verify({stage})"),
+                                    })
+                                    .collect();
+                                assert_eq!(manager.pass_names(), expected, "{options:?}");
+                                combinations += 1;
                             }
-                            if schedule {
-                                expected.push("schedule-depth");
-                            }
-                            let expected: Vec<String> = expected
-                                .iter()
-                                .map(|stage| match verify {
-                                    Verify::Off => stage.to_string(),
-                                    _ => format!("verify({stage})"),
-                                })
-                                .collect();
-                            assert_eq!(manager.pass_names(), expected, "{options:?}");
-                            combinations += 1;
                         }
                     }
                 }
             }
         }
     }
-    assert_eq!(combinations, 3 * 3 * 2 * 2 * 3 * 3);
+    assert_eq!(combinations, 3 * 3 * 2 * 2 * 2 * 3 * 3);
 }
 
 /// The pinned pool reaches the verification wrappers: above the parallel
@@ -338,9 +345,12 @@ proptest! {
         }
     }
 
-    /// `OptLevel::O0` output re-compiles to itself under `O1` with nothing
-    /// left to cancel beyond the fixpoint: compiling is idempotent on
-    /// already-compiled circuits for every opt level.
+    /// Re-compiling compiled output is monotone for the full flow (fusion
+    /// runs *before* lowering, so a re-compile may legitimately fuse runs
+    /// inside freshly re-lowered gadget interiors — but never grow the
+    /// circuit), and a strict fixpoint once the fusion stage is disabled:
+    /// compiling is idempotent on already-compiled circuits at every opt
+    /// level for the fusion-free flow.
     #[test]
     fn compilation_is_idempotent_per_opt_level(
         d in 3u32..=4,
@@ -349,9 +359,18 @@ proptest! {
     ) {
         let dimension = Dimension::new(d).unwrap();
         let circuit = build_mct_circuit(dimension, &specs);
+
         let compiler = CompileOptions::new().opt_level(level).compiler();
         let once = compiler.compile(&circuit).unwrap().circuit;
         let twice = compiler.compile(&once).unwrap().circuit;
+        prop_assert!(twice.len() <= once.len(), "re-compile grew the circuit");
+
+        let fixed = CompileOptions::new()
+            .opt_level(level)
+            .fusion(false)
+            .compiler();
+        let once = fixed.compile(&circuit).unwrap().circuit;
+        let twice = fixed.compile(&once).unwrap().circuit;
         prop_assert_eq!(once, twice);
     }
 }

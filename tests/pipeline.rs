@@ -82,6 +82,7 @@ proptest! {
         // One verified stats entry per stage, in flow order.
         let names: Vec<&str> = report.stats.iter().map(|s| s.pass.as_str()).collect();
         prop_assert_eq!(names, vec![
+            "verify(gate-fusion)",
             "verify(lower-to-elementary)",
             "verify(lower-to-g-gates)",
             "verify(cancel-inverse-pairs)",
@@ -177,7 +178,7 @@ fn pipeline_statistics_are_consistent() {
     let dimension = Dimension::new(3).unwrap();
     let synthesis = KToffoli::new(dimension, 5).unwrap().synthesize().unwrap();
     let report = synthesis.compile().unwrap();
-    assert_eq!(report.stats.len(), 3);
+    assert_eq!(report.stats.len(), 4);
     for window in report.stats.windows(2) {
         assert_eq!(window[0].after, window[1].before);
     }
