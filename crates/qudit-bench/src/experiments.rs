@@ -15,7 +15,7 @@ use qudit_sim::equivalence::{
     verify_mct_exhaustive, verify_mct_exhaustive_with, verify_mct_sampled_with, MctSpec,
 };
 use qudit_sim::random::random_unitary;
-use qudit_sim::SimBackend;
+use qudit_sim::{is_clifford_circuit, SimBackend};
 use qudit_synthesis::{
     gadgets, ladders, CompileOptions, CompileResult, Compiler, ControlledUnitary, KToffoli,
     MultiControlledGate, OptLevel,
@@ -321,6 +321,7 @@ pub fn e10_table_from_results(
             "scheduled depth",
             "depth saved %",
             "sim backend",
+            "clifford",
             "verified",
         ],
     );
@@ -365,6 +366,7 @@ pub fn e10_table_from_results(
             depth_after.to_string(),
             fmt_f64(100.0 * depth_saved as f64 / depth_before.max(1) as f64),
             backend.label().to_string(),
+            is_clifford_circuit(&report.circuit).to_string(),
             verified.to_string(),
         ]);
     }
@@ -420,14 +422,18 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
             "fused gates",
             "panel threads",
             "sim backend",
+            "clifford",
             "elapsed µs",
         ],
     );
     for (&(d, k), report) in sweep.iter().zip(results) {
         // The backend the Auto classicality scan picks for this job's
         // compiled circuit — what any downstream re-simulation (fidelity
-        // checks, `VerifyEquivalence`) of the sweep would run on.
+        // checks, `VerifyEquivalence`) of the sweep would run on — and
+        // whether the circuit is all-Clifford (tableau-verifiable at any
+        // width).
         let backend = SimBackend::Auto.resolve(&report.circuit);
+        let clifford = is_clifford_circuit(&report.circuit);
         for stats in &report.stats {
             let (cache_hits, cache_rate) = match stats.cache {
                 Some(cache) if cache.total() > 0 => {
@@ -449,6 +455,7 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
                 report.fused_gates.to_string(),
                 report.panel_threads.to_string(),
                 backend.label().to_string(),
+                clifford.to_string(),
                 fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
             ]);
         }

@@ -65,6 +65,13 @@ pub enum QuditError {
     /// A non-classical (unitary) operation was used where a classical
     /// permutation operation is required.
     NotClassical,
+    /// A gate is not a generalised-Pauli Clifford operation, so the
+    /// stabilizer tableau engine cannot simulate it (see
+    /// `qudit_sim::stabilizer`).
+    NonClifford {
+        /// Human readable description of why the gate was rejected.
+        reason: String,
+    },
     /// A construction required more borrowed/clean ancilla qudits than were
     /// provided.
     InsufficientAncillas {
@@ -149,6 +156,9 @@ impl fmt::Display for QuditError {
                     "operation is not a classical permutation of the computational basis"
                 )
             }
+            QuditError::NonClifford { reason } => {
+                write!(f, "gate is not a qudit clifford operation: {reason}")
+            }
             QuditError::InsufficientAncillas {
                 required,
                 available,
@@ -206,6 +216,9 @@ mod tests {
                 reason: "two controls".into(),
             },
             QuditError::NotClassical,
+            QuditError::NonClifford {
+                reason: "gate acts on 3 qudits".into(),
+            },
             QuditError::InsufficientAncillas {
                 required: 3,
                 available: 1,

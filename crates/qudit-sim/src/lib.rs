@@ -22,8 +22,12 @@
 //!   global phase;
 //! * [`pipeline`] — the [`VerifyEquivalence`] pass wrapper that makes any
 //!   compilation pipeline self-check semantics preservation after each stage;
-//! * [`random`] — random unitaries, permutations and reversible functions for
-//!   workloads.
+//! * [`stabilizer`] — the generalised-Pauli tableau engine for prime
+//!   dimensions: Clifford gate classification, exact tableau equivalence up
+//!   to global phase, and `O(n³)` basis-probability queries at widths far
+//!   beyond dense reach ([`SimBackend::Stabilizer`]);
+//! * [`random`] — random unitaries, permutations, reversible functions and
+//!   Clifford circuits for workloads.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@ pub mod pipeline;
 pub mod random;
 mod sampling;
 pub mod sparse;
+pub mod stabilizer;
 pub mod statevector;
 
 pub use dense::FusedProgram;
@@ -64,5 +69,9 @@ pub use permutation_sim::{circuit_permutation, classical_circuits_equal, Permuta
 pub use pipeline::VerifyEquivalence;
 pub use sparse::{
     circuit_unitary_with, classical_prefix_len, simulate_basis, SimBackend, SimState, SparseState,
+};
+pub use stabilizer::{
+    classify_gate, clifford_circuits_equal, is_clifford_circuit, is_clifford_gate, CliffordTableau,
+    StabilizerState,
 };
 pub use statevector::{circuit_unitary, StateVector};

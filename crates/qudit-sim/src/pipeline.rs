@@ -6,7 +6,10 @@
 //!
 //! * **classical circuits** via the permutation simulator (exhaustively when
 //!   the register is small, on deterministic random basis states otherwise);
-//! * **non-classical circuits** via the state-vector simulator — full
+//! * **all-Clifford circuits** over prime dimensions via exact stabilizer
+//!   tableau comparison ([`crate::stabilizer`]) — complete up to global
+//!   phase at *any* register width;
+//! * **other non-classical circuits** via the state-vector simulator — full
 //!   unitary comparison up to global phase on small registers, fidelity on
 //!   random dense input states (which are sensitive to relative-phase
 //!   changes) on larger ones.
@@ -112,9 +115,12 @@ impl VerifyEquivalence {
     ///
     /// The default, [`SimBackend::Auto`], scans each circuit for a classical
     /// prefix and simulates that prefix sparsely; `Dense` restores the
-    /// pre-sparse behaviour and `Sparse` forces the hybrid engine.  Every
-    /// backend produces bit-identical states, so the verdicts never depend
-    /// on this knob — only the wall time does.
+    /// pre-sparse behaviour and `Sparse` forces the hybrid engine.  Under
+    /// `Auto` and [`SimBackend::Stabilizer`], a pair of all-Clifford
+    /// circuits over a prime dimension is compared exactly via their
+    /// stabilizer tableaus instead — at any register width.  Every path is
+    /// exact (up to global phase), so the verdicts never depend on this
+    /// knob — only the wall time and the reachable widths do.
     #[must_use]
     pub fn with_backend(mut self, backend: SimBackend) -> Self {
         self.backend = backend;
@@ -159,6 +165,31 @@ impl VerifyEquivalence {
         }
         let dimension = before.dimension();
         let size = dimension.register_size(before.width());
+        // Tableau fast path: when both circuits are all-Clifford over a
+        // prime dimension, their stabilizer tableaus compare exactly (up to
+        // global phase) in `O(gates · width²)` — independent of `d^width`,
+        // so this is the branch that verifies at widths the dense engine
+        // cannot touch.  Classical pairs keep the permutation sweep below
+        // (it is cheaper and never pays for classification); the Dense and
+        // Sparse backends keep their historical paths.
+        if matches!(self.backend, SimBackend::Auto | SimBackend::Stabilizer)
+            && dimension.is_prime()
+            && !(before.is_classical() && after.is_classical())
+            && crate::stabilizer::is_clifford_circuit(before)
+            && crate::stabilizer::is_clifford_circuit(after)
+        {
+            let parallel = !qudit_core::pool::in_worker();
+            let pool = parallel.then(|| pinned_pool.unwrap_or_default());
+            let equal =
+                crate::stabilizer::clifford_circuits_equal_on(before, after, pool.as_ref())?;
+            if !equal {
+                return Err(self.fail(
+                    "output circuit is not equivalent to its input (stabilizer tableaus differ)"
+                        .to_string(),
+                ));
+            }
+            return Ok(());
+        }
         if before.is_classical() && after.is_classical() {
             if size <= self.max_exhaustive_states {
                 // One sweep over the basis yields the witness directly.
@@ -484,6 +515,70 @@ mod tests {
         match manager.run(circuit) {
             Err(QuditError::PassFailed { pass, .. }) => assert_eq!(pass, "drop-all"),
             other => panic!("expected PassFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clifford_circuits_verify_via_tableaus_beyond_dense_reach() {
+        use qudit_core::math::{Complex, SquareMatrix};
+        // Width 24 over qutrits: 3^24 ≈ 2.8·10¹¹ basis states — every
+        // state-vector path would refuse or exhaust memory, so a passing
+        // verdict proves the tableau branch ran.
+        let omega = 2.0 * std::f64::consts::PI / 3.0;
+        let s = 1.0 / 3.0f64.sqrt();
+        let mut entries = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                entries.push(Complex::from_phase(omega * f64::from(r * c)).scale(s));
+            }
+        }
+        let fourier = SquareMatrix::from_rows(3, entries).unwrap();
+        let width = 24;
+        let mut circuit = Circuit::new(dim(3), width);
+        for q in 0..width {
+            circuit
+                .push(Gate::single(
+                    SingleQuditOp::Unitary(fourier.clone()),
+                    QuditId::new(q),
+                ))
+                .unwrap();
+            if q + 1 < width {
+                circuit
+                    .push(Gate::add_from(
+                        QuditId::new(q),
+                        false,
+                        QuditId::new(q + 1),
+                        vec![],
+                    ))
+                    .unwrap();
+            }
+        }
+
+        for backend in [SimBackend::Auto, SimBackend::Stabilizer] {
+            let identity = pass_fn("identity", Ok);
+            let manager = PassManager::new()
+                .with_pass(VerifyEquivalence::wrap(Box::new(identity)).with_backend(backend));
+            assert!(manager.run(circuit.clone()).is_ok(), "backend {backend}");
+
+            // Dropping one gate flips the verdict (the "pass" output is
+            // still all-Clifford, so the tableau branch is the one that
+            // catches it).
+            let drop_last = pass_fn("drop-last", |c: Circuit| {
+                let mut out = Circuit::new(c.dimension(), c.width());
+                for gate in c.gates().iter().take(c.len() - 1) {
+                    out.push(gate.clone())?;
+                }
+                Ok(out)
+            });
+            let manager = PassManager::new()
+                .with_pass(VerifyEquivalence::wrap(Box::new(drop_last)).with_backend(backend));
+            match manager.run(circuit.clone()) {
+                Err(QuditError::PassFailed { pass, reason }) => {
+                    assert_eq!(pass, "drop-last");
+                    assert!(reason.contains("stabilizer"), "{reason}");
+                }
+                other => panic!("expected PassFailed, got {other:?}"),
+            }
         }
     }
 

@@ -1,8 +1,8 @@
-//! Random workload generators: Haar-like unitaries, random permutations and
-//! random reversible functions.
+//! Random workload generators: Haar-like unitaries, random permutations,
+//! random reversible functions and random Clifford circuits.
 
 use qudit_core::math::{Complex, SquareMatrix};
-use qudit_core::Dimension;
+use qudit_core::{Circuit, Dimension, Gate, Permutation, QuditId, SingleQuditOp};
 use rand::Rng;
 
 /// Draws a sample from the standard normal distribution using the
@@ -94,6 +94,106 @@ pub fn random_single_qudit_unitary<R: Rng>(dimension: Dimension, rng: &mut R) ->
     random_unitary(dimension.as_usize(), rng)
 }
 
+/// The qudit Fourier gate `F[r][c] = ω^{rc}/√d` — the Clifford generator
+/// that exchanges the `X` and `Z` Pauli axes.
+fn fourier_matrix(d: u32) -> SquareMatrix {
+    let omega = 2.0 * std::f64::consts::PI / f64::from(d);
+    let scale = 1.0 / f64::from(d).sqrt();
+    let mut entries = Vec::with_capacity((d * d) as usize);
+    for r in 0..d {
+        for c in 0..d {
+            entries.push(Complex::from_phase(omega * f64::from(r * c)).scale(scale));
+        }
+    }
+    SquareMatrix::from_rows(d as usize, entries).expect("fourier matrix is square")
+}
+
+/// The qudit phase gate: `diag(1, i)` for qubits, `diag(ω^{j(j+1)/2})` for
+/// odd primes — the diagonal Clifford generator.
+fn phase_matrix(d: u32) -> SquareMatrix {
+    let mut entries = vec![Complex::ZERO; (d * d) as usize];
+    for j in 0..d {
+        let theta = if d == 2 {
+            std::f64::consts::FRAC_PI_2 * f64::from(j)
+        } else {
+            2.0 * std::f64::consts::PI * f64::from(j * (j + 1) / 2) / f64::from(d)
+        };
+        entries[(j * d + j) as usize] = Complex::from_phase(theta);
+    }
+    SquareMatrix::from_rows(d as usize, entries).expect("phase matrix is square")
+}
+
+/// Generates a uniformly-gated random all-Clifford circuit over a prime
+/// dimension.
+///
+/// Each of the `gates` gates is drawn from the generalised-Pauli Clifford
+/// repertoire: the Fourier gate `F`, the phase gate `S`, cyclic shifts
+/// `X+y`, affine level permutations `j ↦ a·j + b (mod d)` and — on registers
+/// of two or more qudits — the `SUM` gate ([`Gate::add_from`]) between two
+/// distinct random qudits.  The result always satisfies
+/// [`is_clifford_circuit`](crate::stabilizer::is_clifford_circuit()), so it
+/// simulates on [`SimBackend::Stabilizer`](crate::SimBackend::Stabilizer) at
+/// any width.
+///
+/// # Panics
+///
+/// Panics when the dimension is not prime (the stabilizer formalism, and the
+/// affine permutations drawn here, require `Z_d` to be a field) or when
+/// `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// # use rand::SeedableRng;
+/// # use qudit_core::Dimension;
+/// # use qudit_sim::random::random_clifford_circuit;
+/// # use qudit_sim::stabilizer::is_clifford_circuit;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let circuit = random_clifford_circuit(Dimension::new(3).unwrap(), 4, 20, &mut rng);
+/// assert!(is_clifford_circuit(&circuit));
+/// ```
+pub fn random_clifford_circuit<R: Rng>(
+    dimension: Dimension,
+    width: usize,
+    gates: usize,
+    rng: &mut R,
+) -> Circuit {
+    assert!(
+        dimension.is_prime(),
+        "clifford circuits require a prime dimension, got {dimension}"
+    );
+    assert!(width > 0, "register width must be positive");
+    let d = dimension.get();
+    let mut circuit = Circuit::new(dimension, width);
+    for _ in 0..gates {
+        let qudit = QuditId::new(rng.gen_range(0..width));
+        let kind = rng.gen_range(0u32..if width >= 2 { 5 } else { 4 });
+        let gate = match kind {
+            0 => Gate::single(SingleQuditOp::Unitary(fourier_matrix(d)), qudit),
+            1 => Gate::single(SingleQuditOp::Unitary(phase_matrix(d)), qudit),
+            2 => Gate::single(SingleQuditOp::Add(rng.gen_range(1..d)), qudit),
+            3 => {
+                // j ↦ a·j + b (mod d) is a bijection for any a ∈ 1..d when d
+                // is prime, and conjugates X ↦ X^a, Z ↦ Z^{a⁻¹} up to phase.
+                let a = rng.gen_range(1..d);
+                let b = rng.gen_range(0..d);
+                let map = (0..d).map(|j| (a * j + b) % d).collect();
+                let perm = Permutation::from_map(map).expect("affine map is a bijection");
+                Gate::single(SingleQuditOp::Perm(perm), qudit)
+            }
+            _ => {
+                let target =
+                    QuditId::new((qudit.index() + 1 + rng.gen_range(0..width - 1)) % width);
+                Gate::add_from(qudit, rng.gen_range(0..2u32) == 1, target, vec![])
+            }
+        };
+        circuit
+            .push(gate)
+            .expect("generated gate fits the register");
+    }
+    circuit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +226,27 @@ mod tests {
         let d = Dimension::new(3).unwrap();
         let table = random_reversible_table(d, 3, &mut rng);
         assert_eq!(table.len(), 27);
+    }
+
+    #[test]
+    fn random_clifford_circuits_are_clifford() {
+        use crate::stabilizer::is_clifford_circuit;
+        let mut rng = StdRng::seed_from_u64(9);
+        for d in [2u32, 3, 5] {
+            for width in [1usize, 2, 4] {
+                let circuit =
+                    random_clifford_circuit(Dimension::new(d).unwrap(), width, 30, &mut rng);
+                assert_eq!(circuit.len(), 30);
+                assert!(is_clifford_circuit(&circuit), "d={d} width={width}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prime dimension")]
+    fn clifford_generation_rejects_composite_dimensions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        random_clifford_circuit(Dimension::new(4).unwrap(), 2, 5, &mut rng);
     }
 
     #[test]

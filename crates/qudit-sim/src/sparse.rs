@@ -36,6 +36,7 @@ use qudit_core::{Circuit, Dimension, Gate, GateOp, QuditError, QuditId, Result, 
 
 use crate::basis::{digits_to_index, index_to_digits};
 use crate::dense::FusedProgram;
+use crate::stabilizer::{self, StabilizerState};
 use crate::statevector::StateVector;
 
 /// The digit of the qudit with the given stride in a mixed-radix index.
@@ -52,12 +53,22 @@ fn digit_at(index: usize, stride: usize, d: usize) -> u32 {
 /// * [`SimBackend::Sparse`] — always the hybrid sparse engine
 ///   ([`SimState`]): classical gates cost `O(nnz)`, and the state densifies
 ///   at the first non-classical gate.
-/// * [`SimBackend::Auto`] — a classicality scan per circuit: circuits with a
-///   non-empty classical prefix go sparse, circuits that open with a
-///   non-classical gate go dense.
+/// * [`SimBackend::Stabilizer`] — the generalised-Pauli tableau engine
+///   ([`StabilizerState`], prime dimensions only): the classical prefix
+///   runs sparse, and the rest of the circuit must classify as Clifford —
+///   a non-Clifford gate is a typed [`QuditError::NonClifford`] error.
+/// * [`SimBackend::Auto`] — a per-circuit scan: a fully classical circuit
+///   goes sparse, a prime-dimension circuit whose non-classical suffix is
+///   all-Clifford is promoted to the stabilizer engine, and anything else
+///   goes sparse or dense depending on its classical prefix.
 ///
-/// Both engines produce `==`-equal final states (identical up to the sign
-/// of stored IEEE zeros), so the choice is purely a performance knob.
+/// The dense and sparse engines produce `==`-equal final states (identical
+/// up to the sign of stored IEEE zeros), so choosing between them is purely
+/// a performance knob.  The stabilizer engine tracks the state only up to a
+/// global phase, so the amplitude-exact entry points ([`simulate_basis`],
+/// [`circuit_unitary_with`]) demote it to the sparse engine; it is used for
+/// phase-free queries (probabilities, equivalence verdicts), where it
+/// agrees exactly with the other engines.
 ///
 /// # Example
 ///
@@ -87,19 +98,26 @@ pub enum SimBackend {
     Dense,
     /// The sparse amplitude-map engine (densifies on non-classical gates).
     Sparse,
-    /// Per-circuit choice via a classicality scan (the default).
+    /// The generalised-Pauli tableau engine (prime dimensions, Clifford
+    /// circuits; see [`crate::stabilizer`]).
+    Stabilizer,
+    /// Per-circuit choice via a classicality/Clifford scan (the default).
     #[default]
     Auto,
 }
 
 impl SimBackend {
-    /// Resolves `Auto` against a concrete circuit, returning `Dense` or
-    /// `Sparse`.
+    /// Resolves `Auto` against a concrete circuit, returning `Dense`,
+    /// `Sparse` or `Stabilizer`.
     ///
-    /// `Auto` picks the sparse engine exactly when the circuit has a
-    /// non-empty classical prefix (see [`classical_prefix_len`]): a basis
-    /// input then stays at one nonzero amplitude for the whole prefix, so
-    /// every prefix gate costs `O(1)` instead of `O(d^width)`.
+    /// A fully classical circuit picks the sparse engine (a basis input
+    /// stays at one nonzero amplitude throughout, so every gate costs
+    /// `O(1)`), without paying for any Clifford classification.  A circuit
+    /// with a non-classical suffix is promoted to the stabilizer engine
+    /// when the dimension is prime and every suffix gate classifies as
+    /// Clifford (the classical prefix still runs sparse there); otherwise
+    /// the old rule applies — sparse with a non-empty classical prefix,
+    /// dense without.
     ///
     /// # Example
     ///
@@ -119,8 +137,18 @@ impl SimBackend {
         match self {
             SimBackend::Dense => SimBackend::Dense,
             SimBackend::Sparse => SimBackend::Sparse,
+            SimBackend::Stabilizer => SimBackend::Stabilizer,
             SimBackend::Auto => {
-                if classical_prefix_len(circuit) > 0 {
+                let prefix = classical_prefix_len(circuit);
+                if prefix < circuit.len()
+                    && circuit.dimension().is_prime()
+                    && circuit.gates()[prefix..]
+                        .iter()
+                        .all(|gate| stabilizer::is_clifford_gate(gate, circuit.dimension()))
+                {
+                    return SimBackend::Stabilizer;
+                }
+                if prefix > 0 {
                     SimBackend::Sparse
                 } else {
                     SimBackend::Dense
@@ -129,12 +157,13 @@ impl SimBackend {
         }
     }
 
-    /// A short lowercase label (`"dense"`, `"sparse"`, `"auto"`) for tables
-    /// and benchmarks.
+    /// A short lowercase label (`"dense"`, `"sparse"`, `"stabilizer"`,
+    /// `"auto"`) for tables and benchmarks.
     pub fn label(self) -> &'static str {
         match self {
             SimBackend::Dense => "dense",
             SimBackend::Sparse => "sparse",
+            SimBackend::Stabilizer => "stabilizer",
             SimBackend::Auto => "auto",
         }
     }
@@ -572,18 +601,26 @@ fn sparse_can_apply(state: &SparseState, gate: &Gate) -> bool {
 #[derive(Debug, Clone)]
 pub struct SimState {
     repr: Repr,
+    /// Set by [`SimBackend::Stabilizer`]: at the first non-classical gate
+    /// (while the state is still a basis state) the engine switches to the
+    /// stabilizer tableau instead of densifying, and a non-Clifford gate
+    /// from then on is a typed error.
+    prefer_stabilizer: bool,
 }
 
 #[derive(Debug, Clone)]
 enum Repr {
     Sparse(SparseState),
     Dense(StateVector),
+    Stabilizer(StabilizerState),
 }
 
 impl SimState {
     /// Creates the basis state with the given digits on the requested
     /// backend ([`SimBackend::Auto`] starts sparse: a basis state is as
-    /// sparse as states get).
+    /// sparse as states get; [`SimBackend::Stabilizer`] also starts sparse
+    /// and switches to the tableau at the first non-classical gate, so
+    /// classical prefixes keep their `O(1)`-per-gate cost).
     ///
     /// # Errors
     ///
@@ -591,19 +628,23 @@ impl SimState {
     pub fn from_basis(dimension: Dimension, digits: &[u32], backend: SimBackend) -> Result<Self> {
         let repr = match backend {
             SimBackend::Dense => Repr::Dense(StateVector::from_basis(dimension, digits)?),
-            SimBackend::Sparse | SimBackend::Auto => {
+            SimBackend::Sparse | SimBackend::Stabilizer | SimBackend::Auto => {
                 Repr::Sparse(SparseState::from_basis(dimension, digits)?)
             }
         };
-        Ok(SimState { repr })
+        Ok(SimState {
+            repr,
+            prefer_stabilizer: backend == SimBackend::Stabilizer,
+        })
     }
 
     /// Wraps an existing dense state, going sparse only when the backend
     /// asks for it and the state is actually sparse enough to benefit.
     pub fn from_statevector(state: StateVector, backend: SimBackend) -> Self {
+        let prefer_stabilizer = backend == SimBackend::Stabilizer;
         let repr = match backend {
             SimBackend::Dense => Repr::Dense(state),
-            SimBackend::Sparse | SimBackend::Auto => {
+            SimBackend::Sparse | SimBackend::Stabilizer | SimBackend::Auto => {
                 // Count nonzeros with a plain scan first: building the hash
                 // map only to find the state too dense would waste an
                 // `O(size)` allocation (dense random inputs are the common
@@ -621,7 +662,10 @@ impl SimState {
                 }
             }
         };
-        SimState { repr }
+        SimState {
+            repr,
+            prefer_stabilizer,
+        }
     }
 
     /// Returns `true` while the state is held in the sparse representation.
@@ -629,12 +673,31 @@ impl SimState {
         matches!(self.repr, Repr::Sparse(_))
     }
 
-    /// Number of stored amplitudes (`d^width` once dense).
+    /// Returns `true` once the state is held as a stabilizer tableau.
+    pub fn is_stabilizer(&self) -> bool {
+        matches!(self.repr, Repr::Stabilizer(_))
+    }
+
+    /// Number of stored amplitudes (`d^width` once dense, the `width`
+    /// generator rows for a stabilizer tableau).
     pub fn nnz(&self) -> usize {
         match &self.repr {
             Repr::Sparse(state) => state.nnz(),
             Repr::Dense(state) => state.amplitudes().len(),
+            Repr::Stabilizer(state) => state.width(),
         }
+    }
+
+    /// Moves a sparse basis state onto the stabilizer tableau, or reports
+    /// why it cannot (`None` when the state is no longer a basis state —
+    /// the caller then falls back to densifying).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuditError::NonClifford`] when the dimension is not prime.
+    fn promote_to_stabilizer(state: &SparseState) -> Option<Result<StabilizerState>> {
+        let digits = state.as_basis_state()?;
+        Some(StabilizerState::from_basis(state.dimension(), &digits))
     }
 
     /// Applies a gate, switching from sparse to dense when the block-level
@@ -646,17 +709,38 @@ impl SimState {
     ///
     /// # Errors
     ///
-    /// Returns an error when the gate refers to qudits outside the register.
+    /// Returns an error when the gate refers to qudits outside the
+    /// register, or — on the stabilizer backend — a typed
+    /// [`QuditError::NonClifford`] when a post-prefix gate does not
+    /// classify as Clifford.
     pub fn apply_gate(&mut self, gate: &Gate) -> Result<()> {
+        if let Repr::Stabilizer(state) = &mut self.repr {
+            let action = stabilizer::classify_gate(gate, state.dimension())?;
+            state.apply_action(&action);
+            return Ok(());
+        }
         if let Repr::Sparse(state) = &mut self.repr {
-            if sparse_can_apply(state, gate) {
+            let stay_sparse = if self.prefer_stabilizer {
+                gate.is_classical() && sparse_can_apply(state, gate)
+            } else {
+                sparse_can_apply(state, gate)
+            };
+            if stay_sparse {
                 return state.apply_gate(gate);
+            }
+            if self.prefer_stabilizer {
+                if let Some(promoted) = Self::promote_to_stabilizer(state) {
+                    self.repr = Repr::Stabilizer(promoted?);
+                    return self.apply_gate(gate);
+                }
             }
             self.repr = Repr::Dense(state.to_statevector());
         }
         match &mut self.repr {
             Repr::Dense(state) => state.apply_gate(gate),
-            Repr::Sparse(_) => unreachable!("sparse case handled above"),
+            Repr::Sparse(_) | Repr::Stabilizer(_) => {
+                unreachable!("sparse and stabilizer cases handled above")
+            }
         }
     }
 
@@ -682,7 +766,9 @@ impl SimState {
     /// # Errors
     ///
     /// Returns an error when the circuit does not match the register or a
-    /// gate is invalid.
+    /// gate is invalid; on the stabilizer backend, additionally a typed
+    /// [`QuditError::NonClifford`] when a post-prefix gate does not
+    /// classify as Clifford.
     pub fn apply_circuit_on(
         &mut self,
         circuit: &Circuit,
@@ -691,22 +777,44 @@ impl SimState {
         let (dimension, width) = match &self.repr {
             Repr::Sparse(state) => (state.dimension(), state.width()),
             Repr::Dense(state) => (state.dimension(), state.width()),
+            Repr::Stabilizer(state) => (state.dimension(), state.width()),
         };
         check_register(circuit, dimension, width)?;
         let gates = circuit.gates();
         let mut next = 0;
         while next < gates.len() {
+            if let Repr::Stabilizer(state) = &mut self.repr {
+                // Classify the whole remaining suffix once, then fan the
+                // generator rows over the pool.
+                let actions = gates[next..]
+                    .iter()
+                    .map(|gate| stabilizer::classify_gate(gate, dimension))
+                    .collect::<Result<Vec<_>>>()?;
+                state.apply_actions_on(&actions, pool);
+                return Ok(());
+            }
             if let Repr::Sparse(state) = &mut self.repr {
                 let gate = &gates[next];
-                if sparse_can_apply(state, gate) {
+                let stay_sparse = if self.prefer_stabilizer {
+                    gate.is_classical() && sparse_can_apply(state, gate)
+                } else {
+                    sparse_can_apply(state, gate)
+                };
+                if stay_sparse {
                     state.apply_gate(gate)?;
                     next += 1;
                     continue;
                 }
+                if self.prefer_stabilizer {
+                    if let Some(promoted) = Self::promote_to_stabilizer(state) {
+                        self.repr = Repr::Stabilizer(promoted?);
+                        continue;
+                    }
+                }
                 self.repr = Repr::Dense(state.to_statevector());
             }
             let Repr::Dense(state) = &mut self.repr else {
-                unreachable!("sparse case handled above");
+                unreachable!("sparse and stabilizer cases handled above");
             };
             let program = FusedProgram::compile_gates(dimension, width, &gates[next..])?;
             return state.apply_fused_on(&program, pool);
@@ -715,11 +823,13 @@ impl SimState {
     }
 
     /// The probability of measuring a basis state — answered from the
-    /// current representation, without densifying.
+    /// current representation, without densifying (the stabilizer tableau
+    /// answers in `O(width³)` independent of the register size).
     pub fn probability(&self, digits: &[u32]) -> f64 {
         match &self.repr {
             Repr::Sparse(state) => state.probability(digits),
             Repr::Dense(state) => state.probability(digits),
+            Repr::Stabilizer(state) => state.probability(digits),
         }
     }
 
@@ -751,14 +861,23 @@ impl SimState {
                     .expect("states are non-empty");
                 index_to_digits(index, state.dimension(), state.width())
             }
+            Repr::Stabilizer(state) => state.dominant_basis_state(),
         }
     }
 
     /// Densifies into a [`StateVector`].
+    ///
+    /// When the state is held as a stabilizer tableau, the result carries
+    /// an **arbitrary global phase** (a tableau determines the state only
+    /// up to phase) — which is why [`simulate_basis`] demotes the
+    /// stabilizer backend to the sparse engine instead of using this.
     pub fn into_statevector(self) -> StateVector {
         match self.repr {
             Repr::Sparse(state) => state.to_statevector(),
             Repr::Dense(state) => state,
+            Repr::Stabilizer(state) => state
+                .to_statevector()
+                .expect("stabilizer densification only fails on oversized registers"),
         }
     }
 }
@@ -820,7 +939,14 @@ pub fn simulate_basis_on(
             reason: "input state is narrower than the circuit".to_string(),
         });
     }
-    let mut state = SimState::from_basis(circuit.dimension(), digits, backend.resolve(circuit))?;
+    // Amplitude-exact contract: a stabilizer tableau only tracks the state
+    // up to a global phase, so a resolved `Stabilizer` is demoted to the
+    // sparse engine here (which produces `==`-equal amplitudes to dense).
+    let resolved = match backend.resolve(circuit) {
+        SimBackend::Stabilizer => SimBackend::Sparse,
+        other => other,
+    };
+    let mut state = SimState::from_basis(circuit.dimension(), digits, resolved)?;
     state.apply_circuit_on(circuit, pool)?;
     Ok(state.into_statevector())
 }
@@ -840,7 +966,12 @@ pub fn circuit_unitary_with(circuit: &Circuit, backend: SimBackend) -> Result<Sq
     let dimension = circuit.dimension();
     let width = circuit.width();
     let size = dimension.register_size(width);
-    let resolved = backend.resolve(circuit);
+    // Unitary extraction is amplitude-exact (column phases matter), so a
+    // resolved `Stabilizer` backend is demoted to the sparse engine.
+    let resolved = match backend.resolve(circuit) {
+        SimBackend::Stabilizer => SimBackend::Sparse,
+        other => other,
+    };
     let mut matrix = SquareMatrix::zeros(size);
     for column in 0..size {
         let digits = index_to_digits(column, dimension, width);
@@ -990,6 +1121,8 @@ mod tests {
         assert_eq!(SimBackend::Auto.resolve(&classical), SimBackend::Sparse);
         assert_eq!(classical_prefix_len(&classical), 1);
 
+        // A lone Fourier gate is Clifford, so `Auto` now promotes it to the
+        // stabilizer engine.
         let mut quantum = Circuit::new(d, 1);
         quantum
             .push(Gate::single(
@@ -997,9 +1130,137 @@ mod tests {
                 QuditId::new(0),
             ))
             .unwrap();
-        assert_eq!(SimBackend::Auto.resolve(&quantum), SimBackend::Dense);
+        assert_eq!(SimBackend::Auto.resolve(&quantum), SimBackend::Stabilizer);
         assert_eq!(classical_prefix_len(&quantum), 0);
         assert_eq!(SimBackend::Dense.resolve(&classical), SimBackend::Dense);
+
+        // A fully classical circuit stays on the sparse rule even when its
+        // gates are not Clifford (no classification is paid at all).
+        let mut ctrl = Circuit::new(d, 2);
+        ctrl.push(Gate::controlled(
+            SingleQuditOp::Add(1),
+            QuditId::new(1),
+            vec![Control::level(QuditId::new(0), 1)],
+        ))
+        .unwrap();
+        assert_eq!(SimBackend::Auto.resolve(&ctrl), SimBackend::Sparse);
+
+        // A non-classical, non-Clifford opener falls back to the old dense
+        // rule.
+        let s = 1.0 / 2.0f64.sqrt();
+        let mut mix = SquareMatrix::identity(3);
+        mix[(0, 0)] = Complex::from_real(s);
+        mix[(0, 1)] = Complex::from_real(s);
+        mix[(1, 0)] = Complex::from_real(s);
+        mix[(1, 1)] = Complex::from_real(-s);
+        let mut non_clifford = Circuit::new(d, 2);
+        non_clifford
+            .push(Gate::single(SingleQuditOp::Unitary(mix), QuditId::new(0)))
+            .unwrap();
+        assert_eq!(SimBackend::Auto.resolve(&non_clifford), SimBackend::Dense);
+    }
+
+    #[test]
+    fn classical_prefix_with_clifford_suffix_resolves_to_stabilizer() {
+        // Regression for the resolution crossover: before the stabilizer
+        // backend existed, a classical prefix forced the sparse engine,
+        // which densified at the first non-classical gate.  A Clifford
+        // suffix must now promote the whole circuit to the tableau.
+        let d = dim(3);
+        let mut circuit = Circuit::new(d, 3);
+        // Classical prefix: a non-affine permutation (Swap(0, 1) is affine
+        // at d = 3 but ParityFlip-style gates need not be — Add is fine).
+        circuit
+            .push(Gate::single(SingleQuditOp::Add(1), QuditId::new(0)))
+            .unwrap();
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::Add(2),
+                QuditId::new(1),
+                vec![Control::level(QuditId::new(0), 1)],
+            ))
+            .unwrap();
+        // Clifford (non-classical) suffix.
+        circuit
+            .push(Gate::single(
+                SingleQuditOp::Unitary(fourier(3)),
+                QuditId::new(2),
+            ))
+            .unwrap();
+        circuit
+            .push(Gate::add_from(
+                QuditId::new(2),
+                false,
+                QuditId::new(1),
+                vec![],
+            ))
+            .unwrap();
+        assert_eq!(classical_prefix_len(&circuit), 2);
+        assert_eq!(SimBackend::Auto.resolve(&circuit), SimBackend::Stabilizer);
+
+        // The stabilizer engine walks the prefix sparsely, promotes at the
+        // crossover and answers probabilities through the tableau — agreeing
+        // with the dense engine on every basis input.
+        for input in crate::basis::all_basis_states(d, 3) {
+            let dense = simulate_basis(&circuit, &input, SimBackend::Dense).unwrap();
+            let mut state = SimState::from_basis(d, &input, SimBackend::Stabilizer).unwrap();
+            state.apply_circuit(&circuit).unwrap();
+            assert!(state.is_stabilizer(), "input {input:?}");
+            for output in crate::basis::all_basis_states(d, 3) {
+                assert!(
+                    (state.probability(&output) - dense.probability(&output)).abs() < 1e-9,
+                    "input {input:?}, output {output:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_stabilizer_is_strict_after_the_prefix() {
+        let d = dim(3);
+        // Fully classical circuits complete sparsely without errors even
+        // when the classical gates are not Clifford.
+        let mut classical = Circuit::new(d, 2);
+        classical
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::level(QuditId::new(0), 1)],
+            ))
+            .unwrap();
+        let mut state = SimState::from_basis(d, &[1, 0], SimBackend::Stabilizer).unwrap();
+        state.apply_circuit(&classical).unwrap();
+        assert!(state.is_sparse());
+        assert!((state.probability(&[1, 1]) - 1.0).abs() < 1e-12);
+
+        // A non-Clifford gate after the first non-classical gate is a typed
+        // error, not a panic or a silent densification.
+        let mut mixed = Circuit::new(d, 2);
+        mixed
+            .push(Gate::single(
+                SingleQuditOp::Unitary(fourier(3)),
+                QuditId::new(0),
+            ))
+            .unwrap();
+        mixed
+            .push(Gate::controlled(
+                SingleQuditOp::Add(1),
+                QuditId::new(1),
+                vec![Control::level(QuditId::new(0), 1)],
+            ))
+            .unwrap();
+        let mut state = SimState::from_basis(d, &[0, 0], SimBackend::Stabilizer).unwrap();
+        let error = state.apply_circuit(&mixed).unwrap_err();
+        assert!(matches!(error, QuditError::NonClifford { .. }));
+
+        let mut gate_by_gate = SimState::from_basis(d, &[0, 0], SimBackend::Stabilizer).unwrap();
+        let gates = mixed.gates().to_vec();
+        gate_by_gate.apply_gate(&gates[0]).unwrap();
+        assert!(gate_by_gate.is_stabilizer());
+        assert!(matches!(
+            gate_by_gate.apply_gate(&gates[1]),
+            Err(QuditError::NonClifford { .. })
+        ));
     }
 
     #[test]

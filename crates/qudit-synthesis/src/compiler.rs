@@ -200,6 +200,12 @@ impl CompileOptions {
     /// Selects the simulation backend verification runs on (default
     /// [`SimBackend::Auto`]; irrelevant while verification is off — the
     /// verdicts never depend on the backend, only the wall time does).
+    ///
+    /// Under [`SimBackend::Auto`] or [`SimBackend::Stabilizer`], stages
+    /// whose input and output are both all-Clifford circuits over a prime
+    /// dimension are checked by exact stabilizer-tableau comparison, which
+    /// is complete up to global phase at *any* register width; all other
+    /// stages fall back to the state-vector strategies.
     #[must_use]
     pub fn backend(mut self, backend: SimBackend) -> Self {
         self.backend = backend;
@@ -773,6 +779,28 @@ mod tests {
                 .verify_mode(),
             Verify::Sampled(1)
         );
+    }
+
+    #[test]
+    fn verification_accepts_every_backend() {
+        // The verdict must not depend on the engine verification runs on —
+        // including the stabilizer backend, which falls back to state-vector
+        // strategies whenever a stage output is not all-Clifford.
+        let synthesis = KToffoli::new(dim(3), 2).unwrap().synthesize().unwrap();
+        for backend in [
+            SimBackend::Auto,
+            SimBackend::Dense,
+            SimBackend::Sparse,
+            SimBackend::Stabilizer,
+        ] {
+            let compiler = CompileOptions::new()
+                .verify(Verify::Exhaustive)
+                .backend(backend)
+                .compiler();
+            assert_eq!(compiler.options().sim_backend(), backend);
+            let result = compiler.compile(synthesis.circuit()).unwrap();
+            assert!(result.verification.is_verified(), "backend {backend}");
+        }
     }
 
     #[test]
