@@ -1,0 +1,2 @@
+qudit[3] q[1];
+shift(3) q[0];

@@ -1,0 +1,2 @@
+qudit[3] q[2];
+qudit[3] r[2];

@@ -1,0 +1,2 @@
+qudit[3] q[2];
+shift(1) q[1.5];

@@ -1,0 +1,2 @@
+qudit[100] q[1];
+fourier q[0];

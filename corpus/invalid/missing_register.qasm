@@ -1,0 +1,2 @@
+OPENQASM 3.0;
+shift(1) q[0];

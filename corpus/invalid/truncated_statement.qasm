@@ -1,0 +1,2 @@
+qudit[3] q[2];
+ctrl(odd) @ shift(2) q[0],

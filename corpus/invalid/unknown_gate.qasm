@@ -1,0 +1,2 @@
+qudit[3] q[2];
+hadamard q[0];

@@ -1,0 +1,2 @@
+OPENQASM 2.0;
+qudit[3] q[2];

@@ -1,0 +1,2 @@
+qudit[4] q[1];
+perm(1, 0) q[0];

@@ -1,0 +1,7 @@
+// Classical single-qudit generators over an even dimension (the odd
+// parity flip lives in the odd-dimension corpus files), header omitted.
+qudit[4] q[2];
+swap(0, 3) q[0];
+shift(2) q[1];
+parityflip_e q[0];
+perm(1, 2, 3, 0) q[0];

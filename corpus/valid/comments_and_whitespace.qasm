@@ -1,0 +1,8 @@
+// Comments may appear anywhere a token boundary can,
+// and statements may sprawl across lines.
+qudit[3] // dimension three
+  q[2];  // two wires
+ctrl(odd)
+  @ shift(2)
+  q[0],
+  q[1]; // trailing comment

@@ -1,0 +1,10 @@
+// All control-predicate spellings, including the bare `ctrl` sugar for
+// level-0 and stacked modifiers.
+OPENQASM 3;
+qudit[3] q[4];
+ctrl @ shift(1) q[0], q[1];
+ctrl(2) @ swap(0, 1) q[1], q[2];
+ctrl(odd) @ parityflip_o q[2], q[3];
+ctrl(even) @ perm(2, 0, 1) q[3], q[0];
+ctrl(nonzero) @ shift(2) q[0], q[2];
+ctrl @ ctrl(1) @ swap(1, 2) q[0], q[1], q[2];

@@ -1,0 +1,6 @@
+// Input-only Clifford sugar: these lower to explicit unitaries and print
+// back as `unitary(...)`.
+qudit[5] q[2];
+fourier q[0];
+phase q[1];
+ctrl(even) @ fourier q[1], q[0];

@@ -1,0 +1,8 @@
+// The dialect restricted to d = 2 is plain qubit reversible logic.  The
+// paper's multi-controlled synthesis needs d >= 4, so this file sticks to
+// the single-control subset the pipeline supports at d = 2.
+OPENQASM 3.0;
+qudit[2] q[3];
+shift(1) q[0]; // a NOT gate
+ctrl(1) @ shift(1) q[0], q[1]; // CNOT
+swap(0, 1) q[2];

@@ -1,0 +1,3 @@
+// The smallest valid program: a version header and one register.
+OPENQASM 3.0;
+qudit[3] q[4];

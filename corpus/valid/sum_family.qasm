@@ -1,0 +1,6 @@
+// The two-qudit SUM gate and its inverse, bare and controlled.
+qudit[5] q[3];
+sum q[0], q[1];
+sumdg q[1], q[2];
+ctrl(odd) @ sum q[2], q[0], q[1];
+ctrl(3) @ sumdg q[0], q[1], q[2];

@@ -1,0 +1,4 @@
+// An explicit unitary: 2*d*d reals, row-major, re before im.  Exponents,
+// signs and negative zero are all part of the literal grammar.
+qudit[2] q[1];
+unitary(0.7071067811865476, 0, 0.7071067811865476, -0, 0.7071067811865476, 1e-300, -0.7071067811865476, 0) q[0];

@@ -1,0 +1,164 @@
+//! Bench regression gate: compares a freshly produced `QUDIT_BENCH_JSON`
+//! summary against the checked-in `BENCH_baseline.json`.
+//!
+//! The summaries are the vendored criterion shim's format —
+//! `{"results": [{"name": …, "mean_ns": …}, …]}` — scanned with a
+//! hand-rolled reader (the build is offline; no serde).  A benchmark
+//! regresses when
+//!
+//! ```text
+//! current > tolerance × max(baseline, floor)
+//! ```
+//!
+//! with a default tolerance of 3× and a 2 ms floor: CI runners are
+//! shared and noisy, quick-mode iteration counts are tiny, and
+//! millisecond-scale entries jitter by integer factors under co-tenant
+//! load — the gate exists to catch order-of-magnitude cliffs, not
+//! percent-level drift.  A baseline
+//! entry missing from the current run also fails (a silently deleted bench
+//! is a silently dropped guarantee); *new* entries in the current run are
+//! reported but pass, and become gated once the baseline is refreshed.
+//!
+//! Usage:
+//!
+//! ```text
+//! compare_bench <baseline.json> <current.json> [--tolerance 3.0]
+//! ```
+
+use std::process::ExitCode;
+
+const FLOOR_NS: f64 = 2_000_000.0;
+const DEFAULT_TOLERANCE: f64 = 3.0;
+
+/// Extracts `(name, mean_ns)` pairs from a summary produced by the vendored
+/// criterion shim.
+///
+/// The scan is deliberately narrow: it looks for `"name"` keys followed by a
+/// string and a `"mean_ns"` key followed by a number, which is exactly and
+/// only what the shim writes.
+fn scan_results(json: &str) -> Vec<(String, f64)> {
+    let mut results = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\"") {
+        rest = &rest[at + "\"name\"".len()..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        let name = rest[open + 1..open + 1 + close].to_string();
+        rest = &rest[open + 1 + close..];
+        let Some(at) = rest.find("\"mean_ns\"") else {
+            break;
+        };
+        rest = &rest[at + "\"mean_ns\"".len()..];
+        let Some(colon) = rest.find(':') else { break };
+        let tail = &rest[colon + 1..];
+        let number: String = tail
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        match number.parse::<f64>() {
+            Ok(mean_ns) => results.push((name, mean_ns)),
+            Err(_) => break,
+        }
+        rest = tail;
+    }
+    results
+}
+
+fn read_summary(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("compare_bench: cannot read {path}: {e}"));
+    let results = scan_results(&text);
+    assert!(
+        !results.is_empty(),
+        "compare_bench: no bench results found in {path}"
+    );
+    results
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, current_path] = positional[..] else {
+        eprintln!("usage: compare_bench <baseline.json> <current.json> [--tolerance 3.0]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --tolerance: {v}")))
+        .unwrap_or(DEFAULT_TOLERANCE);
+
+    let baseline = read_summary(baseline_path);
+    let current = read_summary(current_path);
+
+    let mut failures = 0usize;
+    for (name, base_ns) in &baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            eprintln!("FAIL {name}: present in baseline but missing from the current run");
+            failures += 1;
+            continue;
+        };
+        let budget = tolerance * base_ns.max(FLOOR_NS);
+        if *cur_ns > budget {
+            eprintln!(
+                "FAIL {name}: {:.2} ms exceeds {tolerance}x budget {:.2} ms (baseline {:.2} ms)",
+                cur_ns / 1e6,
+                budget / 1e6,
+                base_ns / 1e6,
+            );
+            failures += 1;
+        } else {
+            println!(
+                "ok   {name}: {:.2} ms (baseline {:.2} ms, budget {:.2} ms)",
+                cur_ns / 1e6,
+                base_ns / 1e6,
+                budget / 1e6,
+            );
+        }
+    }
+    for (name, cur_ns) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!(
+                "new  {name}: {:.2} ms (not in baseline; refresh BENCH_baseline.json to gate it)",
+                cur_ns / 1e6
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "compare_bench: {failures} regression(s) against {baseline_path} (tolerance {tolerance}x, floor {:.1} ms)",
+            FLOOR_NS / 1e6
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "compare_bench: all {} baseline entries within {tolerance}x",
+        baseline.len()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scan_results;
+
+    #[test]
+    fn scans_the_shim_format() {
+        let json = "{\n  \"results\": [\n    {\"name\": \"a/b\", \"mean_ns\": 1234.5},\n    {\"name\": \"c\", \"mean_ns\": 6e7}\n  ]\n}\n";
+        assert_eq!(
+            scan_results(json),
+            vec![("a/b".to_string(), 1234.5), ("c".to_string(), 6e7)]
+        );
+    }
+
+    #[test]
+    fn empty_input_scans_to_nothing() {
+        assert!(scan_results("{}").is_empty());
+        assert!(scan_results("").is_empty());
+    }
+}

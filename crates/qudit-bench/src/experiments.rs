@@ -423,6 +423,7 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
             "panel threads",
             "sim backend",
             "clifford",
+            "qasm bytes",
             "elapsed µs",
         ],
     );
@@ -431,9 +432,12 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
         // compiled circuit — what any downstream re-simulation (fidelity
         // checks, `VerifyEquivalence`) of the sweep would run on — and
         // whether the circuit is all-Clifford (tableau-verifiable at any
-        // width).
+        // width).  `qasm bytes` is the size of the compiled circuit in the
+        // canonical text IR (see `qudit_core::qasm`) — the artefact a job
+        // exported with `CompileResult::to_qasm` would occupy on disk.
         let backend = SimBackend::Auto.resolve(&report.circuit);
         let clifford = is_clifford_circuit(&report.circuit);
+        let qasm_bytes = qudit_core::qasm::print_circuit(&report.circuit).len();
         for stats in &report.stats {
             let (cache_hits, cache_rate) = match stats.cache {
                 Some(cache) if cache.total() > 0 => {
@@ -456,6 +460,7 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
                 report.panel_threads.to_string(),
                 backend.label().to_string(),
                 clifford.to_string(),
+                qasm_bytes.to_string(),
                 fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
             ]);
         }

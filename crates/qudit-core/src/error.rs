@@ -100,6 +100,15 @@ pub enum QuditError {
         /// The unresolvable stage name.
         stage: String,
     },
+    /// A text-IR source failed to parse (see [`crate::qasm`]).
+    ParseFailed {
+        /// 1-based source line of the failure.
+        line: u32,
+        /// 1-based source column of the failure.
+        column: u32,
+        /// The rendered [`crate::qasm::ParseErrorKind`] message.
+        message: String,
+    },
 }
 
 impl fmt::Display for QuditError {
@@ -174,6 +183,16 @@ impl fmt::Display for QuditError {
             QuditError::UnknownPass { stage } => {
                 write!(f, "no pass is registered for pipeline stage '{stage}'")
             }
+            QuditError::ParseFailed {
+                line,
+                column,
+                message,
+            } => {
+                write!(
+                    f,
+                    "qasm parse failed at line {line}, column {column}: {message}"
+                )
+            }
         }
     }
 }
@@ -232,6 +251,11 @@ mod tests {
             },
             QuditError::UnknownPass {
                 stage: "route-qudits".into(),
+            },
+            QuditError::ParseFailed {
+                line: 2,
+                column: 1,
+                message: "unknown gate 'wiggle'".into(),
             },
         ];
         for error in errors {

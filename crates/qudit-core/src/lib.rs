@@ -26,6 +26,9 @@
 //!   `rayon`);
 //! * [`cache`] — the thread-safe lowering cache keyed by
 //!   `(gate kind, dimension, width-class)` with hit/miss accounting;
+//! * [`qasm`] — the OpenQASM-3-flavoured text IR: lexer, parser, semantic
+//!   lowering and an exact-inverse pretty-printer with spanned
+//!   [`qasm::ParseError`] diagnostics;
 //! * [`math`] — minimal complex numbers and dense matrices;
 //! * [`AncillaKind`], [`AncillaUsage`] — ancilla bookkeeping.
 //!
@@ -72,6 +75,7 @@ mod ops;
 pub mod optimize;
 pub mod pipeline;
 pub mod pool;
+pub mod qasm;
 mod qudit;
 
 pub use ancilla::{AncillaKind, AncillaUsage};

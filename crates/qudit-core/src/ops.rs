@@ -285,6 +285,44 @@ impl SingleQuditOp {
         Ok(SingleQuditOp::Unitary(matrix))
     }
 
+    /// The qudit Fourier gate `F[r][c] = ω^{rc}/√d` — the Clifford
+    /// generator that exchanges the `X` and `Z` Pauli axes (the
+    /// `fourier` statement of the [text IR](crate::qasm)).
+    pub fn fourier(dimension: Dimension) -> SingleQuditOp {
+        let d = dimension.get();
+        let omega = 2.0 * std::f64::consts::PI / f64::from(d);
+        let scale = 1.0 / f64::from(d).sqrt();
+        let mut entries = Vec::with_capacity(dimension.as_usize() * dimension.as_usize());
+        for r in 0..d {
+            for c in 0..d {
+                entries.push(Complex::from_phase(omega * f64::from(r) * f64::from(c)).scale(scale));
+            }
+        }
+        let matrix = SquareMatrix::from_rows(dimension.as_usize(), entries)
+            .expect("fourier matrix is square");
+        SingleQuditOp::Unitary(matrix)
+    }
+
+    /// The qudit phase gate: `diag(1, i)` for qubits, `diag(ω^{j(j+1)/2})`
+    /// for odd dimensions — the diagonal Clifford generator (the `phase`
+    /// statement of the [text IR](crate::qasm)).
+    pub fn clifford_phase(dimension: Dimension) -> SingleQuditOp {
+        let d = dimension.get();
+        let n = dimension.as_usize();
+        let mut entries = vec![Complex::ZERO; n * n];
+        for j in 0..d {
+            let theta = if d == 2 {
+                std::f64::consts::FRAC_PI_2 * f64::from(j)
+            } else {
+                let half_square = u64::from(j) * u64::from(j + 1) / 2;
+                2.0 * std::f64::consts::PI * (half_square as f64) / f64::from(d)
+            };
+            entries[j as usize * n + j as usize] = Complex::from_phase(theta);
+        }
+        let matrix = SquareMatrix::from_rows(n, entries).expect("phase matrix is square");
+        SingleQuditOp::Unitary(matrix)
+    }
+
     /// Returns `true` when the operation is a classical permutation of the
     /// computational basis.
     pub fn is_classical(&self) -> bool {

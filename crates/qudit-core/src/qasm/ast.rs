@@ -1,0 +1,95 @@
+//! Syntax tree for the qudit text IR.
+//!
+//! The tree is deliberately "dumb": it records what the source *said*
+//! (names, raw numbers, spans) and defers every meaning judgement — gate
+//! tables, arity checks, level ranges, unitarity — to the semantic lowering
+//! in [`super::lower`].  That split keeps the parser total over arbitrary
+//! token streams and gives diagnostics precise spans at both layers.
+
+use super::Span;
+
+/// A parsed program: one register declaration plus gate statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The single qudit register of the program.
+    pub register: RegisterDecl,
+    /// The gate statements, in source order.
+    pub statements: Vec<GateStmt>,
+}
+
+/// The `qudit[d] name[n];` register declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDecl {
+    /// The register name (`q` in `qudit[3] q[8];`).
+    pub name: String,
+    /// The declared qudit dimension `d`.
+    pub dimension: u32,
+    /// The declared register width `n`.
+    pub size: usize,
+    /// Span of the `qudit` keyword.
+    pub span: Span,
+}
+
+/// A control modifier `ctrl(<pred>) @` on a gate statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlMod {
+    /// The predicate between the parentheses (a bare `ctrl @` records
+    /// [`CtrlPred::Level(0)`](CtrlPred::Level)).
+    pub pred: CtrlPred,
+    /// Span of the `ctrl` keyword.
+    pub span: Span,
+}
+
+/// A control predicate as written in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlPred {
+    /// `ctrl(l)` — fire on level `l` (also the bare-`ctrl` default, `l = 0`).
+    Level(u32),
+    /// `ctrl(odd)` — fire on odd levels.
+    Odd,
+    /// `ctrl(even)` — fire on non-zero even levels.
+    Even,
+    /// `ctrl(nonzero)` — fire on any non-zero level.
+    NonZero,
+}
+
+/// A numeric gate parameter, kept both parsed and raw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// The parsed value (sign applied).
+    pub value: f64,
+    /// The literal as written, sign included (for integer-ness checks and
+    /// diagnostics).
+    pub raw: String,
+    /// Span of the literal (of the sign, when present).
+    pub span: Span,
+}
+
+/// A register-indexed operand `name[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operand {
+    /// The register name before the brackets.
+    pub register: String,
+    /// The wire index between the brackets.
+    pub index: usize,
+    /// Span of the register name.
+    pub span: Span,
+}
+
+/// A gate statement: modifiers, a gate name, parameters and operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateStmt {
+    /// The `ctrl(…) @` modifiers, outermost first; each consumes one
+    /// leading operand as its control qudit.
+    pub controls: Vec<CtrlMod>,
+    /// The gate name.
+    pub name: String,
+    /// The parenthesised parameters (empty when none were written).
+    pub params: Vec<Param>,
+    /// The operands, controls first.
+    pub operands: Vec<Operand>,
+    /// Span of the statement's first token (first modifier or gate name).
+    pub span: Span,
+    /// Span of the gate name itself.
+    pub name_span: Span,
+}

@@ -1,0 +1,265 @@
+//! Lexer for the qudit text IR: source text to spanned [`Token`]s.
+//!
+//! The alphabet is deliberately small — identifiers, unsigned numeric
+//! literals, punctuation (`( ) [ ] , ; @ -`) and `//` line comments.  Any
+//! other character is a typed [`ParseError`], never a panic: the lexer is
+//! the first line of the parser-never-unwinds contract the fuzz-smoke CI
+//! job enforces.
+
+use std::fmt;
+
+use super::{ParseError, ParseErrorKind, Span};
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`qudit`, `ctrl`, gate names, …).
+    Ident(String),
+    /// An unsigned numeric literal, kept raw (`3`, `0.5`, `1e-3`); signs
+    /// are separate [`TokenKind::Minus`] tokens.
+    Number(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `@`
+    At,
+    /// `-`
+    Minus,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(name) => write!(f, "'{name}'"),
+            TokenKind::Number(raw) => write!(f, "number '{raw}'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::At => write!(f, "'@'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with the [`Span`] of its first character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokenKind,
+    /// 1-based position of the token's first character.
+    pub span: Span,
+}
+
+/// Tokenises a complete source, ending with a [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`ParseErrorKind::UnexpectedChar`] at the first character
+/// outside the dialect alphabet.
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::qasm::lexer::{tokenize, TokenKind};
+///
+/// let tokens = tokenize("qudit[3] q[2]; // register")?;
+/// assert_eq!(tokens.first().unwrap().kind, TokenKind::Ident("qudit".into()));
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// # Ok::<(), qudit_core::qasm::ParseError>(())
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut column: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line = line.saturating_add(1);
+                    column = 1;
+                } else {
+                    column = column.saturating_add(1);
+                }
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let span = Span::new(line, column);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&next) = chars.peek() {
+                        if next == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(ParseError::new(ParseErrorKind::UnexpectedChar('/'), span));
+                }
+            }
+            '(' | ')' | '[' | ']' | ',' | ';' | '@' | '-' => {
+                bump!();
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semicolon,
+                    '@' => TokenKind::At,
+                    _ => TokenKind::Minus,
+                };
+                tokens.push(Token { kind, span });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&next) = chars.peek() {
+                    if next.is_ascii_alphanumeric() || next == '_' {
+                        name.push(next);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(name),
+                    span,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut raw = String::new();
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while let Some(&next) = chars.peek() {
+                    let take = next.is_ascii_digit()
+                        || (next == '.' && !seen_dot && !seen_exp)
+                        || ((next == 'e' || next == 'E') && !seen_exp)
+                        || ((next == '+' || next == '-')
+                            && matches!(raw.chars().last(), Some('e') | Some('E')));
+                    if !take {
+                        break;
+                    }
+                    seen_dot |= next == '.';
+                    seen_exp |= next == 'e' || next == 'E';
+                    raw.push(next);
+                    bump!();
+                }
+                if raw.parse::<f64>().is_err() {
+                    return Err(ParseError::new(ParseErrorKind::InvalidNumber(raw), span));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(raw),
+                    span,
+                });
+            }
+            other => {
+                return Err(ParseError::new(ParseErrorKind::UnexpectedChar(other), span));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(line, column),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("ctrl(0) @ swap q[1];"),
+            vec![
+                TokenKind::Ident("ctrl".into()),
+                TokenKind::LParen,
+                TokenKind::Number("0".into()),
+                TokenKind::RParen,
+                TokenKind::At,
+                TokenKind::Ident("swap".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Number("1".into()),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_cover_floats_and_exponents() {
+        assert_eq!(
+            kinds("3.0 0.5 1e-3 2E+6 7"),
+            vec![
+                TokenKind::Number("3.0".into()),
+                TokenKind::Number("0.5".into()),
+                TokenKind::Number("1e-3".into()),
+                TokenKind::Number("2E+6".into()),
+                TokenKind::Number("7".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_spans_track_lines() {
+        let tokens = tokenize("// header\n  swap").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Ident("swap".into()));
+        assert_eq!(tokens[0].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn unexpected_characters_are_typed_errors() {
+        let error = tokenize("swap $ q").unwrap_err();
+        assert_eq!(error.kind, ParseErrorKind::UnexpectedChar('$'));
+        assert_eq!(error.span, Span::new(1, 6));
+        let second_dot = tokenize("1.2.3").unwrap_err();
+        assert_eq!(second_dot.kind, ParseErrorKind::UnexpectedChar('.'));
+        let lone_slash = tokenize("/").unwrap_err();
+        assert_eq!(lone_slash.kind, ParseErrorKind::UnexpectedChar('/'));
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected_not_panicked_on() {
+        let error = tokenize("1e").unwrap_err();
+        assert_eq!(error.kind, ParseErrorKind::InvalidNumber("1e".into()));
+        let error = tokenize("3e+;").unwrap_err();
+        assert!(matches!(error.kind, ParseErrorKind::InvalidNumber(_)));
+    }
+}

@@ -1,0 +1,220 @@
+//! Pretty-printer: a [`Circuit`] back to canonical dialect text.
+//!
+//! The printer is an exact structural inverse of the parser:
+//! `parse_source(print_circuit(c)) == c` for every valid circuit.  Float
+//! literals use Rust's `{}` formatting, which is guaranteed to be the
+//! shortest representation that round-trips through `f64` parsing, so even
+//! arbitrary unitary matrices survive bit-for-bit.  The Fourier and phase
+//! sugar statements are *input-only*: their lowered unitaries print as
+//! `unitary(…)`, which reparses to the same [`SingleQuditOp::Unitary`].
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::control::ControlPredicate;
+use crate::gate::{Gate, GateOp};
+use crate::ops::SingleQuditOp;
+
+/// Prints a circuit in the canonical dialect form (see [the module-level
+/// grammar](super)).
+///
+/// # Example
+///
+/// ```
+/// use qudit_core::qasm::{parse_source, print_circuit};
+///
+/// let circuit = parse_source("qudit[3] q[2]; ctrl(odd) @ shift(2) q[0], q[1];")?;
+/// let printed = print_circuit(&circuit);
+/// assert_eq!(
+///     printed,
+///     "OPENQASM 3.0;\nqudit[3] q[2];\nctrl(odd) @ shift(2) q[0], q[1];\n"
+/// );
+/// assert_eq!(parse_source(&printed)?, circuit);
+/// # Ok::<(), qudit_core::qasm::ParseError>(())
+/// ```
+pub fn print_circuit(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 3.0;\n");
+    let _ = writeln!(
+        out,
+        "qudit[{}] q[{}];",
+        circuit.dimension().get(),
+        circuit.width()
+    );
+    for gate in circuit.gates() {
+        print_gate(&mut out, gate);
+    }
+    out
+}
+
+fn print_gate(out: &mut String, gate: &Gate) {
+    for control in gate.controls() {
+        match control.predicate {
+            ControlPredicate::Level(0) => out.push_str("ctrl @ "),
+            ControlPredicate::Level(l) => {
+                let _ = write!(out, "ctrl({l}) @ ");
+            }
+            ControlPredicate::Odd => out.push_str("ctrl(odd) @ "),
+            ControlPredicate::EvenNonzero => out.push_str("ctrl(even) @ "),
+            ControlPredicate::NonZero => out.push_str("ctrl(nonzero) @ "),
+        }
+    }
+    match gate.op() {
+        GateOp::Single(op) => print_single_op(out, op),
+        GateOp::AddFrom { negate, .. } => {
+            out.push_str(if *negate { "sumdg" } else { "sum" });
+        }
+    }
+    // Gate::qudits() lists controls, then the AddFrom source, then the
+    // target — exactly the operand order the parser expects back.
+    let mut first = true;
+    for qudit in gate.qudits() {
+        if first {
+            let _ = write!(out, " q[{}]", qudit.index());
+            first = false;
+        } else {
+            let _ = write!(out, ", q[{}]", qudit.index());
+        }
+    }
+    out.push_str(";\n");
+}
+
+fn print_single_op(out: &mut String, op: &SingleQuditOp) {
+    match op {
+        SingleQuditOp::Swap(i, j) => {
+            let _ = write!(out, "swap({i}, {j})");
+        }
+        SingleQuditOp::Add(y) => {
+            let _ = write!(out, "shift({y})");
+        }
+        SingleQuditOp::ParityFlipEven => out.push_str("parityflip_e"),
+        SingleQuditOp::ParityFlipOdd => out.push_str("parityflip_o"),
+        SingleQuditOp::Perm(perm) => {
+            out.push_str("perm(");
+            for (i, to) in perm.as_map().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{to}");
+            }
+            out.push(')');
+        }
+        SingleQuditOp::Unitary(matrix) => {
+            out.push_str("unitary(");
+            for (i, z) in matrix.as_slice().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_real(out, z.re);
+                out.push_str(", ");
+                print_real(out, z.im);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Prints an `f64` so that the lexer/parser reproduce it bit-for-bit.
+///
+/// Rust's `{}` is shortest-round-trip, but its `1e21`-style output for
+/// large magnitudes and bare `-0` both fit our grammar already; the only
+/// case needing care is that the grammar keeps `-` a separate token, which
+/// the parser rejoins — so plain formatting suffices.
+fn print_real(out: &mut String, value: f64) {
+    let _ = write!(out, "{value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_source;
+    use super::*;
+    use crate::control::Control;
+    use crate::dimension::Dimension;
+    use crate::math::{Complex, SquareMatrix};
+    use crate::qudit::QuditId;
+
+    fn round_trip(source: &str) {
+        let circuit = parse_source(source).unwrap();
+        let printed = print_circuit(&circuit);
+        let reparsed = parse_source(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to reparse: {e}\n{printed}"));
+        assert_eq!(reparsed, circuit, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn canonical_statements_round_trip() {
+        round_trip(
+            "qudit[4] q[3];\n\
+             swap(1, 3) q[0];\n\
+             shift(2) q[1];\n\
+             parityflip_e q[2];\n\
+             perm(3, 2, 1, 0) q[0];\n\
+             ctrl @ ctrl(2) @ swap(0, 1) q[0], q[1], q[2];\n\
+             ctrl(odd) @ sum q[0], q[1], q[2];\n\
+             ctrl(even) @ sumdg q[0], q[1], q[2];\n\
+             ctrl(nonzero) @ shift(3) q[1], q[0];",
+        );
+        round_trip("qudit[5] q[1]; fourier q[0]; phase q[0]; parityflip_o q[0];");
+        round_trip("qudit[2] q[2];");
+    }
+
+    #[test]
+    fn unitaries_round_trip_bit_for_bit() {
+        let d = Dimension::new(3).unwrap();
+        let mut circuit = Circuit::new(d, 2);
+        // An awkward unitary: the Fourier matrix has irrational entries in
+        // every position.
+        circuit
+            .push(Gate::controlled(
+                SingleQuditOp::fourier(d),
+                QuditId::new(0),
+                vec![Control::odd(QuditId::new(1))],
+            ))
+            .unwrap();
+        let printed = print_circuit(&circuit);
+        assert_eq!(parse_source(&printed).unwrap(), circuit);
+    }
+
+    #[test]
+    fn negative_zero_and_tiny_magnitudes_survive() {
+        let d = Dimension::new(2).unwrap();
+        let mut circuit = Circuit::new(d, 1);
+        let matrix = SquareMatrix::from_rows(
+            2,
+            vec![
+                Complex::new(1.0, -0.0),
+                Complex::new(0.0, 0.0),
+                Complex::new(-0.0, 0.0),
+                Complex::new(-1.0, 1e-300),
+            ],
+        )
+        .unwrap();
+        circuit
+            .push(Gate::single(
+                SingleQuditOp::Unitary(matrix),
+                QuditId::new(0),
+            ))
+            .unwrap();
+        let printed = print_circuit(&circuit);
+        let reparsed = parse_source(&printed).unwrap();
+        assert_eq!(reparsed, circuit, "printed:\n{printed}");
+        match reparsed.gates()[0].op() {
+            GateOp::Single(SingleQuditOp::Unitary(m)) => {
+                assert!(m[(0, 0)].im.is_sign_negative(), "-0.0 must survive");
+            }
+            other => panic!("expected a unitary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn printed_output_is_canonical() {
+        let circuit = parse_source(
+            "OPENQASM 3; // header and comments vanish\n qudit[3] q[2];\n sum q[0], q[1];",
+        )
+        .unwrap();
+        assert_eq!(
+            print_circuit(&circuit),
+            "OPENQASM 3.0;\nqudit[3] q[2];\nsum q[0], q[1];\n"
+        );
+    }
+}

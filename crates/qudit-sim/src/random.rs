@@ -2,7 +2,7 @@
 //! random reversible functions and random Clifford circuits.
 
 use qudit_core::math::{Complex, SquareMatrix};
-use qudit_core::{Circuit, Dimension, Gate, Permutation, QuditId, SingleQuditOp};
+use qudit_core::{Circuit, Control, Dimension, Gate, Permutation, QuditId, SingleQuditOp};
 use rand::Rng;
 
 /// Draws a sample from the standard normal distribution using the
@@ -94,33 +94,159 @@ pub fn random_single_qudit_unitary<R: Rng>(dimension: Dimension, rng: &mut R) ->
     random_unitary(dimension.as_usize(), rng)
 }
 
-/// The qudit Fourier gate `F[r][c] = ω^{rc}/√d` — the Clifford generator
-/// that exchanges the `X` and `Z` Pauli axes.
-fn fourier_matrix(d: u32) -> SquareMatrix {
-    let omega = 2.0 * std::f64::consts::PI / f64::from(d);
-    let scale = 1.0 / f64::from(d).sqrt();
-    let mut entries = Vec::with_capacity((d * d) as usize);
-    for r in 0..d {
-        for c in 0..d {
-            entries.push(Complex::from_phase(omega * f64::from(r * c)).scale(scale));
-        }
+/// Draws `count` distinct qudit ids from `0..width` (partial Fisher–Yates).
+fn distinct_qudits<R: Rng>(width: usize, count: usize, rng: &mut R) -> Vec<QuditId> {
+    assert!(
+        count <= width,
+        "cannot draw {count} distinct qudits from {width}"
+    );
+    let mut pool: Vec<usize> = (0..width).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..width);
+        pool.swap(i, j);
     }
-    SquareMatrix::from_rows(d as usize, entries).expect("fourier matrix is square")
+    pool[..count].iter().map(|&i| QuditId::new(i)).collect()
 }
 
-/// The qudit phase gate: `diag(1, i)` for qubits, `diag(ω^{j(j+1)/2})` for
-/// odd primes — the diagonal Clifford generator.
-fn phase_matrix(d: u32) -> SquareMatrix {
-    let mut entries = vec![Complex::ZERO; (d * d) as usize];
-    for j in 0..d {
-        let theta = if d == 2 {
-            std::f64::consts::FRAC_PI_2 * f64::from(j)
-        } else {
-            2.0 * std::f64::consts::PI * f64::from(j * (j + 1) / 2) / f64::from(d)
-        };
-        entries[(j * d + j) as usize] = Complex::from_phase(theta);
+/// Draws a random control predicate valid for the dimension.
+fn random_predicate<R: Rng>(dimension: Dimension, rng: &mut R) -> qudit_core::ControlPredicate {
+    use qudit_core::ControlPredicate;
+    match rng.gen_range(0u32..4) {
+        0 => ControlPredicate::Level(rng.gen_range(0..dimension.get())),
+        1 => ControlPredicate::Odd,
+        2 => ControlPredicate::EvenNonzero,
+        _ => ControlPredicate::NonZero,
     }
-    SquareMatrix::from_rows(d as usize, entries).expect("phase matrix is square")
+}
+
+/// Draws a random classical single-qudit operation.
+fn random_classical_op<R: Rng>(dimension: Dimension, rng: &mut R) -> SingleQuditOp {
+    let d = dimension.get();
+    match rng.gen_range(0u32..4) {
+        0 => {
+            let i = rng.gen_range(0..d);
+            let j = (i + 1 + rng.gen_range(0..d - 1)) % d;
+            SingleQuditOp::Swap(i, j)
+        }
+        1 => SingleQuditOp::Add(rng.gen_range(0..d)),
+        2 => {
+            if dimension.is_even() {
+                SingleQuditOp::ParityFlipEven
+            } else {
+                SingleQuditOp::ParityFlipOdd
+            }
+        }
+        _ => {
+            let map = random_permutation(dimension.as_usize(), rng)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+            SingleQuditOp::Perm(Permutation::from_map(map).expect("random permutation is valid"))
+        }
+    }
+}
+
+fn random_dialect_gate<R: Rng>(
+    dimension: Dimension,
+    width: usize,
+    classical_only: bool,
+    rng: &mut R,
+) -> Gate {
+    // AddFrom needs two distinct wires; every other op needs one.
+    let add_from = width >= 2 && rng.gen_range(0u32..4) == 0;
+    let base_arity = if add_from { 2 } else { 1 };
+    let max_controls = (width - base_arity).min(2);
+    let n_controls = rng.gen_range(0..=max_controls);
+    let qudits = distinct_qudits(width, base_arity + n_controls, rng);
+    let controls: Vec<Control> = qudits[..n_controls]
+        .iter()
+        .map(|&q| Control::new(q, random_predicate(dimension, rng)))
+        .collect();
+    if add_from {
+        return Gate::add_from(
+            qudits[n_controls],
+            rng.gen_range(0u32..2) == 1,
+            qudits[n_controls + 1],
+            controls,
+        );
+    }
+    let target = qudits[n_controls];
+    let op = if classical_only {
+        random_classical_op(dimension, rng)
+    } else {
+        match rng.gen_range(0u32..6) {
+            0 => SingleQuditOp::fourier(dimension),
+            1 => SingleQuditOp::clifford_phase(dimension),
+            2 => SingleQuditOp::Unitary(random_single_qudit_unitary(dimension, rng)),
+            _ => random_classical_op(dimension, rng),
+        }
+    };
+    Gate::controlled(op, target, controls)
+}
+
+/// Generates a random circuit exercising the *full* text-IR gate
+/// repertoire: level swaps, shifts, parity flips, permutations, Fourier /
+/// phase Cliffords, Haar-like unitaries and `SUM` gates, each with up to
+/// two controls drawn from all four predicate kinds.
+///
+/// This is the workload for the `parse ∘ print = id` property suites of
+/// [`qudit_core::qasm`].
+///
+/// # Panics
+///
+/// Panics when `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// # use rand::SeedableRng;
+/// # use qudit_core::Dimension;
+/// # use qudit_sim::random::random_dialect_circuit;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let circuit = random_dialect_circuit(Dimension::new(3).unwrap(), 4, 20, &mut rng);
+/// let printed = qudit_core::qasm::print_circuit(&circuit);
+/// assert_eq!(qudit_core::qasm::parse_source(&printed).unwrap(), circuit);
+/// ```
+pub fn random_dialect_circuit<R: Rng>(
+    dimension: Dimension,
+    width: usize,
+    gates: usize,
+    rng: &mut R,
+) -> Circuit {
+    assert!(width > 0, "register width must be positive");
+    let mut circuit = Circuit::new(dimension, width);
+    for _ in 0..gates {
+        let gate = random_dialect_gate(dimension, width, false, rng);
+        circuit
+            .push(gate)
+            .expect("generated gate fits the register");
+    }
+    circuit
+}
+
+/// Like [`random_dialect_circuit`], but restricted to classical
+/// (basis-permuting) gates, so the result flows through the full
+/// lowering/compilation pass stack — the workload for the
+/// `compile_source(print(c)) ≡ compile(c)` property suites.
+///
+/// # Panics
+///
+/// Panics when `width == 0`.
+pub fn random_classical_dialect_circuit<R: Rng>(
+    dimension: Dimension,
+    width: usize,
+    gates: usize,
+    rng: &mut R,
+) -> Circuit {
+    assert!(width > 0, "register width must be positive");
+    let mut circuit = Circuit::new(dimension, width);
+    for _ in 0..gates {
+        let gate = random_dialect_gate(dimension, width, true, rng);
+        circuit
+            .push(gate)
+            .expect("generated gate fits the register");
+    }
+    circuit
 }
 
 /// Generates a uniformly-gated random all-Clifford circuit over a prime
@@ -169,8 +295,8 @@ pub fn random_clifford_circuit<R: Rng>(
         let qudit = QuditId::new(rng.gen_range(0..width));
         let kind = rng.gen_range(0u32..if width >= 2 { 5 } else { 4 });
         let gate = match kind {
-            0 => Gate::single(SingleQuditOp::Unitary(fourier_matrix(d)), qudit),
-            1 => Gate::single(SingleQuditOp::Unitary(phase_matrix(d)), qudit),
+            0 => Gate::single(SingleQuditOp::fourier(dimension), qudit),
+            1 => Gate::single(SingleQuditOp::clifford_phase(dimension), qudit),
             2 => Gate::single(SingleQuditOp::Add(rng.gen_range(1..d)), qudit),
             3 => {
                 // j ↦ a·j + b (mod d) is a bijection for any a ∈ 1..d when d

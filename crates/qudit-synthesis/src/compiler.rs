@@ -129,6 +129,12 @@ pub enum OptLevel {
 /// inverse-pair cancellation, unverified, uncached, shape-agnostic,
 /// environment-sized pool.
 ///
+/// Jobs can enter the pipeline as Rust [`Circuit`]s
+/// ([`Compiler::compile`]) or as text IR ([`Compiler::compile_source`]);
+/// the accepted dialect — dimension declarations, the gate table and
+/// control syntax — is documented in the [`qudit_core::qasm`] module-level
+/// reference.
+///
 /// # Example
 ///
 /// ```
@@ -477,6 +483,29 @@ impl CompileResult {
         }
     }
 
+    /// Exports the compiled circuit as canonical text IR (see
+    /// [`qudit_core::qasm::print_circuit`]); parsing the result back yields
+    /// a structurally identical circuit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::{Circuit, Dimension, Gate, QuditId, SingleQuditOp};
+    /// use qudit_synthesis::CompileOptions;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut circuit = Circuit::new(Dimension::new(3)?, 1);
+    /// circuit.push(Gate::single(SingleQuditOp::Swap(0, 2), QuditId::new(0)))?;
+    /// let result = CompileOptions::new().compiler().compile(&circuit)?;
+    /// let text = result.to_qasm();
+    /// assert_eq!(qudit_core::qasm::parse_source(&text)?, result.circuit);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_qasm(&self) -> String {
+        qudit_core::qasm::print_circuit(&self.circuit)
+    }
+
     /// Total wall-clock time across all passes.
     pub fn total_elapsed(&self) -> Duration {
         self.stats.iter().map(|s| s.elapsed).sum()
@@ -639,6 +668,46 @@ impl Compiler {
             self.options.verify,
             self.panel_threads(),
         ))
+    }
+
+    /// Compiles a text-IR source (see [`qudit_core::qasm`]) through the
+    /// same pass stack as [`Compiler::compile`].
+    ///
+    /// The source is parsed and lowered by [`qudit_core::qasm::parse_source`]
+    /// and the resulting circuit compiled with this compiler's options;
+    /// `compile_source(print_circuit(&c))` is equivalent to `compile(&c)`
+    /// gate-for-gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qudit_core::QuditError::ParseFailed`] (with the 1-based
+    /// line/column of the first diagnostic) for invalid sources, and
+    /// otherwise whatever [`Compiler::compile`] returns.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_synthesis::CompileOptions;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let compiler = CompileOptions::new().compiler();
+    /// let result = compiler.compile_source(
+    ///     "OPENQASM 3.0;\n\
+    ///      qudit[3] q[3];\n\
+    ///      ctrl @ ctrl @ swap(0, 1) q[0], q[1], q[2];",
+    /// )?;
+    /// assert!(result.circuit.gates().iter().all(|g| g.is_g_gate()));
+    ///
+    /// // Diagnostics carry the source location.
+    /// let error = compiler.compile_source("qudit[3] q[1];\nboop q[0];").unwrap_err();
+    /// assert!(error.to_string().contains("line 2, column 1"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compile_source(&self, source: &str) -> qudit_core::Result<CompileResult> {
+        let circuit =
+            qudit_core::qasm::parse_source(source).map_err(qudit_core::QuditError::from)?;
+        self.compile(&circuit)
     }
 
     /// The worker count the dense panel engine resolves the compiler's

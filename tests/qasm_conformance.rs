@@ -1,0 +1,125 @@
+//! Conformance suite over the checked-in `corpus/` of dialect sources.
+//!
+//! * `corpus/valid/*.qasm` must parse, survive an exact `print → parse`
+//!   round trip, print canonically (idempotently), and — when the program
+//!   is classical — compile and verify through the standard `O1` facade
+//!   flow.
+//! * `corpus/invalid/*.qasm` must fail to parse, and the full
+//!   `ParseError` rendering (line/column span plus message) must match the
+//!   sibling `.expected` golden byte-for-byte.
+//!
+//! Regenerate goldens after an intentional diagnostic change with
+//! `QUDIT_BLESS=1 cargo test --test qasm_conformance`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qudit_core::qasm::{parse_source, print_circuit};
+use qudit_synthesis::{CompileOptions, OptLevel, Verify};
+
+fn corpus_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(kind)
+}
+
+fn corpus_sources(kind: &str) -> Vec<(PathBuf, String)> {
+    let dir = corpus_dir(kind);
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "qasm"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no .qasm files under {} — corpus missing?",
+        dir.display()
+    );
+    entries
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            (path, text)
+        })
+        .collect()
+}
+
+#[test]
+fn valid_corpus_parses_and_round_trips() {
+    for (path, source) in corpus_sources("valid") {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let circuit =
+            parse_source(&source).unwrap_or_else(|e| panic!("{name}: expected to parse, got: {e}"));
+        let printed = print_circuit(&circuit);
+        let reparsed = parse_source(&printed)
+            .unwrap_or_else(|e| panic!("{name}: printed form failed to reparse: {e}\n{printed}"));
+        assert_eq!(reparsed, circuit, "{name}: round trip diverged\n{printed}");
+        assert_eq!(
+            print_circuit(&reparsed),
+            printed,
+            "{name}: printing is not canonical"
+        );
+    }
+}
+
+#[test]
+fn valid_classical_corpus_compiles_and_verifies() {
+    let mut compiled = 0usize;
+    for (path, source) in corpus_sources("valid") {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let circuit = parse_source(&source).unwrap();
+        // The facade's lowering stages only accept classical programs;
+        // Fourier/phase/unitary sources are covered by the simulation-level
+        // equivalence suites instead.
+        if !circuit.is_classical() || circuit.gates().is_empty() {
+            continue;
+        }
+        let compiler = CompileOptions::new()
+            .opt_level(OptLevel::O1)
+            .verify(Verify::Exhaustive)
+            .compiler();
+        let result = compiler
+            .compile_source(&source)
+            .unwrap_or_else(|e| panic!("{name}: failed to compile: {e}"));
+        assert!(result.verification.is_verified(), "{name}: not verified");
+        assert_eq!(
+            parse_source(&result.to_qasm()).unwrap(),
+            result.circuit,
+            "{name}: exported compile output failed to reparse"
+        );
+        compiled += 1;
+    }
+    assert!(
+        compiled >= 3,
+        "expected at least 3 classical corpus programs"
+    );
+}
+
+#[test]
+fn invalid_corpus_errors_match_goldens() {
+    let bless = std::env::var_os("QUDIT_BLESS").is_some();
+    for (path, source) in corpus_sources("invalid") {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let error = match parse_source(&source) {
+            Err(e) => format!("{e}\n"),
+            Ok(_) => panic!("{name}: expected a parse error, but the source parsed"),
+        };
+        let golden_path = path.with_extension("expected");
+        if bless {
+            fs::write(&golden_path, &error).unwrap();
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden {} ({e}); run with QUDIT_BLESS=1 to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            error, golden,
+            "{name}: diagnostic drifted from golden (QUDIT_BLESS=1 regenerates)"
+        );
+    }
+}
