@@ -195,9 +195,10 @@ impl PassContext {
         self
     }
 
-    /// The run's pinned worker pool, if the manager configured one.
+    /// The run's pinned worker pool, if the manager configured one
+    /// (cloned: persistent pools share their crew through the clone).
     pub fn pool(&self) -> Option<WorkStealingPool> {
-        self.pool
+        self.pool.clone()
     }
 
     /// The run's lowering cache, if caching is enabled.
@@ -644,9 +645,10 @@ impl PassManager {
         self
     }
 
-    /// The configured worker pool, if one was pinned.
+    /// The configured worker pool, if one was pinned (cloned: persistent
+    /// pools share their crew through the clone).
     pub fn pool(&self) -> Option<WorkStealingPool> {
-        self.pool
+        self.pool.clone()
     }
 
     /// Rebuilds the pipeline with every pass transformed by `wrap` — the
@@ -711,8 +713,8 @@ impl PassManager {
                 Some(cache) => PassContext::with_cache(cache.clone()),
                 None => PassContext::new(),
             };
-            if let Some(pool) = self.pool {
-                ctx = ctx.with_pool(pool);
+            if let Some(pool) = &self.pool {
+                ctx = ctx.with_pool(pool.clone());
             }
             let start = Instant::now();
             current = pass.run_with(current, &mut ctx)?;
@@ -779,7 +781,7 @@ impl PassManager {
     /// # }
     /// ```
     pub fn run_batch(&self, circuits: Vec<Circuit>) -> Result<BatchReport> {
-        self.run_batch_on(circuits, &self.pool.unwrap_or_default())
+        self.run_batch_on(circuits, &self.pool.clone().unwrap_or_default())
     }
 
     /// [`PassManager::run_batch`] on a caller-provided pool.

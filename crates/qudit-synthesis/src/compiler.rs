@@ -168,6 +168,7 @@ pub struct CompileOptions {
     schedule: bool,
     cache: CacheMode,
     threads: Threads,
+    pool: Option<WorkStealingPool>,
     shape: Option<(Dimension, usize)>,
 }
 
@@ -181,6 +182,7 @@ impl Default for CompileOptions {
             schedule: false,
             cache: CacheMode::Off,
             threads: Threads::Auto,
+            pool: None,
             shape: None,
         }
     }
@@ -271,6 +273,17 @@ impl CompileOptions {
         self
     }
 
+    /// Pins an existing pool on the compiler instead of letting it build
+    /// its own — overrides [`CompileOptions::threads`].  The compile
+    /// service pins one [`WorkStealingPool::persistent`] pool here so every
+    /// job dispatches onto long-lived workers instead of paying
+    /// thread-spawn per compilation (pool clones share the same crew).
+    #[must_use]
+    pub fn pool(mut self, pool: WorkStealingPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Pins the register shape: compilations of circuits with a different
     /// dimension or width are rejected up front (default: shape-agnostic,
     /// as heterogeneous batch sweeps need).
@@ -315,6 +328,11 @@ impl CompileOptions {
         self.threads
     }
 
+    /// The pinned pool, if any (see [`CompileOptions::pool`]).
+    pub fn pinned_pool(&self) -> Option<&WorkStealingPool> {
+        self.pool.as_ref()
+    }
+
     /// The pinned register shape, if any.
     pub fn register_shape(&self) -> Option<(Dimension, usize)> {
         self.shape
@@ -351,7 +369,7 @@ impl CompileOptions {
         let manager = registry()
             .assemble(&self.spec())
             .expect("every stage the options select is registered");
-        let manager = match self.threads.pool() {
+        let manager = match self.pool.clone().or_else(|| self.threads.pool()) {
             Some(pool) => manager.with_pool(pool),
             None => manager,
         };
@@ -714,6 +732,9 @@ impl Compiler {
     /// [`Threads`] mode to: `Fixed(n)` clamps to at least one worker, `Auto`
     /// sizes from the environment exactly like the pool itself does.
     pub fn panel_threads(&self) -> usize {
+        if let Some(pool) = &self.options.pool {
+            return pool.threads().max(1);
+        }
         match self.options.threads {
             Threads::Auto => WorkStealingPool::default().threads(),
             Threads::Fixed(threads) => threads.max(1),

@@ -55,6 +55,7 @@ pub mod mct_odd;
 pub mod pipeline;
 pub mod pk;
 mod resources;
+pub mod service;
 
 pub use compiler::{
     BatchResult, CompileOptions, CompileResult, Compiler, OptLevel, Threads, Verify, VerifyOutcome,
@@ -66,3 +67,6 @@ pub use error::{Result, SynthesisError};
 pub use mct::{emit_multi_controlled, KToffoli, MctLayout, MctSynthesis, MultiControlledGate};
 pub use pipeline::{LowerToElementary, Pipeline};
 pub use resources::Resources;
+pub use service::{
+    CompileService, JobReply, JobRequest, JobStatus, ServiceClient, ServiceConfig, ServiceStats,
+};

@@ -1,0 +1,975 @@
+//! The compile service: a blocking TCP/newline-JSON front door over the
+//! [`Compiler`] facade.
+//!
+//! The ROADMAP's north star is compilation-as-a-service: a long-running
+//! server absorbing heavy concurrent traffic.  This module is the first cut
+//! of that server, built from what is already in-tree — no async runtime
+//! exists offline, so the front door is a hand-rolled blocking design:
+//!
+//! * **Transport** — one listener thread accepts TCP connections; each
+//!   connection gets a reader thread.  Requests and replies are one JSON
+//!   object per line (see [Protocol](#protocol)).
+//! * **Scheduling** — jobs enter per-tenant FIFO queues.  At most one job
+//!   per tenant is in flight at a time, so a tenant's replies always come
+//!   back in submission order, and no tenant can monopolise the workers.
+//! * **Admission control** — a tenant whose queue is at
+//!   [`ServiceConfig::max_queue_depth`] gets a typed `rejected` reply
+//!   instead of unbounded buffering.
+//! * **Backpressure** — when the total of queued plus in-flight jobs
+//!   reaches [`ServiceConfig::max_pending`], readers stop draining their
+//!   sockets until a worker finishes, so saturation propagates to clients
+//!   through TCP flow control instead of through memory growth.
+//! * **Shared substrates** — every job compiles through one
+//!   [`Compiler`] pinned to a persistent
+//!   [`WorkStealingPool`] (long-lived workers, no
+//!   thread-spawn per job) and one bounded, shared
+//!   [`LoweringCache`] ([`ServiceConfig::cache_capacity`]), optionally
+//!   warm-started from a snapshot ([`ServiceConfig::warm_start`]) and
+//!   exportable at any time ([`CompileService::cache_snapshot`]).
+//!
+//! # Protocol
+//!
+//! Requests are flat JSON objects, one per line:
+//!
+//! ```text
+//! {"tenant":"alice","id":"job-1","source":"OPENQASM 3.0;\nqudit[3] q[2];\nctrl @ swap(0, 1) q[0], q[1];"}
+//! ```
+//!
+//! Replies are flat JSON objects, one per line, echoing `tenant` and `id`:
+//!
+//! * `"status":"ok"` with `gates`, `depth`, `verified` and the compiled
+//!   `qasm` text;
+//! * `"status":"rejected"` with `error` when admission control turned the
+//!   job away (the job was **not** compiled);
+//! * `"status":"error"` with `error` when the job was malformed or the
+//!   compilation failed.
+//!
+//! Every submitted line gets exactly one reply.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_synthesis::service::{CompileService, JobRequest, ServiceClient, ServiceConfig};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let service = CompileService::start(ServiceConfig::new().workers(1))?;
+//! let mut client = ServiceClient::connect(service.local_addr())?;
+//! let reply = client.roundtrip(&JobRequest {
+//!     tenant: "doc".into(),
+//!     id: "1".into(),
+//!     source: "OPENQASM 3.0;\nqudit[3] q[2];\nctrl @ swap(0, 1) q[0], q[1];".into(),
+//! })?;
+//! assert!(reply.is_ok(), "{}", reply.message);
+//! assert!(reply.gates > 0);
+//! drop(client);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qudit_core::cache::{CacheMetrics, LoweringCache};
+use qudit_core::pipeline::CacheMode;
+use qudit_core::pool::WorkStealingPool;
+
+use crate::compiler::{CompileOptions, Compiler};
+
+/// How long blocked socket reads and the accept loop sleep between checks
+/// of the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Configuration of a [`CompileService`].
+///
+/// The defaults bind an ephemeral loopback port, run two compile workers
+/// over a persistent pool of the same width, bound the shared cache at 1024
+/// entries, and apply the standard [`CompileOptions`] flow to every job.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    bind: String,
+    workers: usize,
+    max_queue_depth: usize,
+    max_pending: usize,
+    cache_capacity: usize,
+    warm_start: Option<String>,
+    options: CompileOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            bind: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_queue_depth: 16,
+            max_pending: 64,
+            cache_capacity: 1024,
+            warm_start: None,
+            options: CompileOptions::new(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration (see the type-level docs).
+    pub fn new() -> Self {
+        ServiceConfig::default()
+    }
+
+    /// The address to bind (default `127.0.0.1:0`, an ephemeral loopback
+    /// port — read the resolved port from [`CompileService::local_addr`]).
+    #[must_use]
+    pub fn bind(mut self, addr: impl Into<String>) -> Self {
+        self.bind = addr.into();
+        self
+    }
+
+    /// Number of compile workers — concurrent jobs in flight — and the
+    /// width of the persistent pool they share (default 2; values below 1
+    /// are treated as 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Per-tenant queue bound: a job arriving while its tenant already has
+    /// this many queued is rejected with a typed reply (default 16; values
+    /// below 1 are treated as 1).
+    #[must_use]
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth.max(1);
+        self
+    }
+
+    /// Global backpressure bound: while queued plus in-flight jobs total
+    /// this many, connection readers stop draining their sockets (default
+    /// 64; values below 1 are treated as 1).
+    #[must_use]
+    pub fn max_pending(mut self, pending: usize) -> Self {
+        self.max_pending = pending.max(1);
+        self
+    }
+
+    /// Entry bound of the shared lowering cache (default 1024; values below
+    /// 1 are treated as 1).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Warm-starts the cache from a snapshot produced by
+    /// [`CompileService::cache_snapshot`] (or
+    /// [`LoweringCache::snapshot`]).  Corrupt snapshots fail
+    /// [`CompileService::start`] with a typed error instead of booting
+    /// cold.
+    #[must_use]
+    pub fn warm_start(mut self, snapshot: impl Into<String>) -> Self {
+        self.warm_start = Some(snapshot.into());
+        self
+    }
+
+    /// The compile options applied to every job (default
+    /// [`CompileOptions::new`]).  The cache and pool knobs are overridden
+    /// by the service's own shared cache and persistent pool.
+    #[must_use]
+    pub fn options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// One compile job as submitted over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// The tenant whose FIFO queue the job joins.
+    pub tenant: String,
+    /// Caller-chosen job identifier, echoed in the reply.
+    pub id: String,
+    /// The qasm program to compile (see [`qudit_core::qasm`]).
+    pub source: String,
+}
+
+/// Reply status of a job (see the module-level protocol docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job compiled; the reply carries the result summary.
+    Ok,
+    /// Admission control turned the job away without compiling it.
+    Rejected,
+    /// The job was malformed or the compilation failed.
+    Error,
+}
+
+/// One reply line, parsed (see [`ServiceClient::recv`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReply {
+    /// The tenant echoed from the request (empty for unparsable requests).
+    pub tenant: String,
+    /// The job id echoed from the request (empty for unparsable requests).
+    pub id: String,
+    /// Outcome of the job.
+    pub status: JobStatus,
+    /// Gate count of the compiled circuit (`Ok` replies only).
+    pub gates: usize,
+    /// Depth of the compiled circuit (`Ok` replies only).
+    pub depth: usize,
+    /// Whether the compilation was verified (`Ok` replies only).
+    pub verified: bool,
+    /// The compiled circuit as canonical qasm (`Ok` replies only).
+    pub qasm: String,
+    /// The rejection or error description (non-`Ok` replies only).
+    pub message: String,
+}
+
+impl JobReply {
+    /// Returns `true` when the job compiled successfully.
+    pub fn is_ok(&self) -> bool {
+        self.status == JobStatus::Ok
+    }
+}
+
+/// Lifetime counters of a [`CompileService`], read with
+/// [`CompileService::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted into a tenant queue.
+    pub accepted: u64,
+    /// Jobs compiled and replied to with `status: ok`.
+    pub completed: u64,
+    /// Jobs turned away by admission control.
+    pub rejected: u64,
+    /// Lines that did not parse as job requests.
+    pub protocol_errors: u64,
+    /// Admitted jobs whose compilation failed.
+    pub compile_errors: u64,
+    /// Metrics of the shared lowering cache.
+    pub cache: CacheMetrics,
+}
+
+/// A queued job plus the connection its reply goes back to.
+struct Job {
+    request: JobRequest,
+    reply_to: Arc<Mutex<TcpStream>>,
+}
+
+/// One tenant's FIFO queue; `busy` pins the one-in-flight-per-tenant
+/// invariant that keeps a tenant's replies in submission order.
+#[derive(Default)]
+struct TenantQueue {
+    jobs: VecDeque<Job>,
+    busy: bool,
+}
+
+/// Scheduler state shared by readers (producers) and workers (consumers).
+struct SchedulerState {
+    tenants: HashMap<String, TenantQueue>,
+    /// Queued plus in-flight jobs — the quantity backpressure bounds.
+    pending: usize,
+    shutdown: bool,
+}
+
+/// Everything the service threads share.
+struct Shared {
+    state: Mutex<SchedulerState>,
+    /// Signals workers that a job may have become runnable.
+    job_ready: Condvar,
+    /// Signals readers that `pending` dropped below the backpressure bound.
+    space: Condvar,
+    compiler: Compiler,
+    cache: Arc<LoweringCache>,
+    max_queue_depth: usize,
+    max_pending: usize,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+    compile_errors: AtomicU64,
+}
+
+/// A running compile service; dropping (or calling
+/// [`CompileService::shutdown`]) stops accepting, drains queued jobs and
+/// joins every thread.
+pub struct CompileService {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl CompileService {
+    /// Boots the service: binds the listener, restores the warm-start
+    /// snapshot if one was configured, and spawns the acceptor and worker
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; a corrupt warm-start snapshot fails with
+    /// [`io::ErrorKind::InvalidData`] wrapping the typed
+    /// [`qudit_core::QuditError::SnapshotInvalid`] message.
+    pub fn start(config: ServiceConfig) -> io::Result<Self> {
+        let cache = LoweringCache::shared_with_capacity(config.cache_capacity);
+        if let Some(snapshot) = &config.warm_start {
+            cache
+                .restore_snapshot(snapshot)
+                .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))?;
+        }
+        let pool = WorkStealingPool::persistent(config.workers);
+        let compiler = config
+            .options
+            .clone()
+            .cache(CacheMode::Shared(cache.clone()))
+            .pool(pool)
+            .compiler();
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedulerState {
+                tenants: HashMap::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space: Condvar::new(),
+            compiler,
+            cache,
+            max_queue_depth: config.max_queue_depth,
+            max_pending: config.max_pending,
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            compile_errors: AtomicU64::new(0),
+        });
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = shared.clone();
+            let readers = readers.clone();
+            std::thread::spawn(move || accept_loop(&listener, &shared, &readers))
+        };
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(CompileService {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            readers,
+        })
+    }
+
+    /// The address the service is listening on (with the resolved port when
+    /// the configuration asked for an ephemeral one).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service's lifetime counters plus the shared cache's metrics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            compile_errors: self.shared.compile_errors.load(Ordering::Relaxed),
+            cache: self.shared.cache.metrics(),
+        }
+    }
+
+    /// Serialises the shared cache for a warm start of a later service (see
+    /// [`ServiceConfig::warm_start`]).
+    pub fn cache_snapshot(&self) -> String {
+        self.shared.cache.snapshot()
+    }
+
+    /// Stops the service: no new connections are accepted, queued jobs are
+    /// drained and replied to, and every thread is joined.  Returns the
+    /// final [`ServiceStats`].
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut state = lock_unpoisoned(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let readers = std::mem::take(&mut *lock_unpoisoned(&self.readers));
+        for reader in readers {
+            let _ = reader.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Locks a mutex, recovering the guard if a peer panicked while holding it.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The listener thread: accepts connections until shutdown, spawning one
+/// reader thread per connection.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, readers: &Mutex<Vec<JoinHandle<()>>>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                let handle = std::thread::spawn(move || reader_loop(stream, &shared));
+                lock_unpoisoned(readers).push(handle);
+            }
+            Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// One connection's reader: parses request lines, applies admission control
+/// and backpressure, and enqueues accepted jobs.
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let reply_to = Arc::new(Mutex::new(write_half));
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_line(trimmed, shared, &reply_to);
+                }
+                line.clear();
+            }
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Partial reads stay accumulated in `line`; just check for
+                // shutdown and keep waiting.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parses one request line and either replies immediately (malformed /
+/// rejected) or enqueues the job.
+fn handle_line(line: &str, shared: &Arc<Shared>, reply_to: &Arc<Mutex<TcpStream>>) {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(error) => {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            send_reply(
+                reply_to,
+                &error_reply(&error.tenant, &error.id, &error.reason),
+            );
+            return;
+        }
+    };
+    let mut state = lock_unpoisoned(&shared.state);
+    // Backpressure: stop draining this socket while the service is full.
+    while state.pending >= shared.max_pending && !state.shutdown {
+        state = shared
+            .space
+            .wait(state)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    if state.shutdown {
+        drop(state);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        send_reply(
+            reply_to,
+            &rejected_reply(&request.tenant, &request.id, "service is shutting down"),
+        );
+        return;
+    }
+    let queue = state.tenants.entry(request.tenant.clone()).or_default();
+    if queue.jobs.len() >= shared.max_queue_depth {
+        drop(state);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        send_reply(
+            reply_to,
+            &rejected_reply(&request.tenant, &request.id, "tenant queue is full"),
+        );
+        return;
+    }
+    queue.jobs.push_back(Job {
+        request,
+        reply_to: reply_to.clone(),
+    });
+    state.pending += 1;
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    drop(state);
+    shared.job_ready.notify_all();
+}
+
+/// One compile worker: claims runnable jobs (front of a non-busy tenant's
+/// queue), compiles them and writes the reply.  Exits when shutdown is set
+/// and nothing is runnable — queued jobs are drained first.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let mut state = lock_unpoisoned(&shared.state);
+        let job = loop {
+            let runnable = state
+                .tenants
+                .iter()
+                .find(|(_, queue)| !queue.busy && !queue.jobs.is_empty())
+                .map(|(tenant, _)| tenant.clone());
+            if let Some(tenant) = runnable {
+                let queue = state.tenants.get_mut(&tenant).expect("tenant exists");
+                queue.busy = true;
+                break queue.jobs.pop_front().expect("queue is non-empty");
+            }
+            if state.shutdown {
+                return;
+            }
+            state = shared
+                .job_ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        };
+        drop(state);
+        let reply = compile_job(shared, &job.request);
+        send_reply(&job.reply_to, &reply);
+        let mut state = lock_unpoisoned(&shared.state);
+        if let Some(queue) = state.tenants.get_mut(&job.request.tenant) {
+            queue.busy = false;
+        }
+        state.pending -= 1;
+        drop(state);
+        // Completing a job can unblock both a reader (space) and a peer
+        // worker (the tenant's next job became runnable).
+        shared.space.notify_all();
+        shared.job_ready.notify_all();
+    }
+}
+
+/// Compiles one job and renders its reply line.
+fn compile_job(shared: &Shared, request: &JobRequest) -> String {
+    match shared.compiler.compile_source(&request.source) {
+        Ok(result) => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            format!(
+                "{{\"tenant\":\"{}\",\"id\":\"{}\",\"status\":\"ok\",\"gates\":{},\"depth\":{},\"verified\":{},\"qasm\":\"{}\"}}",
+                json_escape(&request.tenant),
+                json_escape(&request.id),
+                result.circuit.len(),
+                result.depth,
+                result.verification.is_verified(),
+                json_escape(&result.to_qasm()),
+            )
+        }
+        Err(error) => {
+            shared.compile_errors.fetch_add(1, Ordering::Relaxed);
+            error_reply(&request.tenant, &request.id, &error.to_string())
+        }
+    }
+}
+
+/// Renders a `status: error` reply line.
+fn error_reply(tenant: &str, id: &str, message: &str) -> String {
+    format!(
+        "{{\"tenant\":\"{}\",\"id\":\"{}\",\"status\":\"error\",\"error\":\"{}\"}}",
+        json_escape(tenant),
+        json_escape(id),
+        json_escape(message),
+    )
+}
+
+/// Renders a `status: rejected` reply line.
+fn rejected_reply(tenant: &str, id: &str, message: &str) -> String {
+    format!(
+        "{{\"tenant\":\"{}\",\"id\":\"{}\",\"status\":\"rejected\",\"error\":\"{}\"}}",
+        json_escape(tenant),
+        json_escape(id),
+        json_escape(message),
+    )
+}
+
+/// Writes one reply line to a connection, ignoring write failures (the
+/// client may already have disconnected).
+fn send_reply(reply_to: &Mutex<TcpStream>, reply: &str) {
+    let mut stream = lock_unpoisoned(reply_to);
+    let _ = stream.write_all(reply.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// A minimal blocking client for the newline-JSON protocol — what the
+/// integration tests, the smoke example and the throughput bench drive the
+/// service with.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Submits one job without waiting for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, request: &JobRequest) -> io::Result<()> {
+        let line = format!(
+            "{{\"tenant\":\"{}\",\"id\":\"{}\",\"source\":\"{}\"}}\n",
+            json_escape(&request.tenant),
+            json_escape(&request.id),
+            json_escape(&request.source),
+        );
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends a raw request line verbatim (for driving the protocol's error
+    /// paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next reply line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::UnexpectedEof`] when the server closed the
+    /// connection and [`io::ErrorKind::InvalidData`] for unparsable reply
+    /// lines.
+    pub fn recv(&mut self) -> io::Result<JobReply> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        parse_reply(line.trim())
+            .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason))
+    }
+
+    /// Submits one job and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServiceClient::send`] and [`ServiceClient::recv`]
+    /// failures.
+    pub fn roundtrip(&mut self, request: &JobRequest) -> io::Result<JobReply> {
+        self.send(request)?;
+        self.recv()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object (string, number, boolean and null values
+/// only — the whole protocol is flat) into key/value pairs.  String values
+/// are unescaped; other values are kept as their raw token text.
+fn parse_flat_json(line: &str) -> Result<HashMap<String, String>, String> {
+    let mut chars = line.chars().peekable();
+    let mut fields = HashMap::new();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("request is not a JSON object".to_string());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return finish(chars, fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("missing ':' after key '{key}'"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => parse_string(&mut chars)?,
+            Some(c) if c.is_ascii_digit() || *c == '-' || c.is_ascii_alphabetic() => {
+                let mut token = String::new();
+                while let Some(c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || *c == '-' || *c == '+' || *c == '.' {
+                        token.push(*c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                token
+            }
+            _ => return Err(format!("unsupported value for key '{key}'")),
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return finish(chars, fields),
+            _ => return Err("expected ',' or '}' after a value".to_string()),
+        }
+    }
+}
+
+/// Requires only whitespace to remain after the closing brace.
+fn finish(
+    mut chars: std::iter::Peekable<std::str::Chars<'_>>,
+    fields: HashMap<String, String>,
+) -> Result<HashMap<String, String>, String> {
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing content after the JSON object".to_string());
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+        chars.next();
+    }
+}
+
+/// Parses a JSON string literal (the cursor must be on the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected a string".to_string());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let digit = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or_else(|| "invalid \\u escape".to_string())?;
+                        code = code * 16 + digit;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                _ => return Err("unknown escape sequence".to_string()),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+/// Why a request line was refused, echoing whatever identity fields did
+/// parse so the error reply can still be correlated by the client.
+#[derive(Debug)]
+struct RequestError {
+    tenant: String,
+    id: String,
+    reason: String,
+}
+
+/// Parses one request line into a [`JobRequest`].
+fn parse_request(line: &str) -> Result<JobRequest, RequestError> {
+    let fields = parse_flat_json(line).map_err(|reason| RequestError {
+        tenant: String::new(),
+        id: String::new(),
+        reason,
+    })?;
+    let text = |name: &str| fields.get(name).cloned().unwrap_or_default();
+    let require = |name: &str| {
+        fields.get(name).cloned().ok_or_else(|| RequestError {
+            tenant: text("tenant"),
+            id: text("id"),
+            reason: format!("missing field '{name}'"),
+        })
+    };
+    Ok(JobRequest {
+        tenant: require("tenant")?,
+        id: require("id")?,
+        source: require("source")?,
+    })
+}
+
+/// Parses one reply line into a [`JobReply`].
+fn parse_reply(line: &str) -> Result<JobReply, String> {
+    let fields = parse_flat_json(line)?;
+    let text = |name: &str| fields.get(name).cloned().unwrap_or_default();
+    let number = |name: &str| {
+        fields
+            .get(name)
+            .and_then(|raw| raw.parse::<usize>().ok())
+            .unwrap_or(0)
+    };
+    let status = match text("status").as_str() {
+        "ok" => JobStatus::Ok,
+        "rejected" => JobStatus::Rejected,
+        "error" => JobStatus::Error,
+        other => return Err(format!("unknown reply status '{other}'")),
+    };
+    Ok(JobReply {
+        tenant: text("tenant"),
+        id: text("id"),
+        status,
+        gates: number("gates"),
+        depth: number("depth"),
+        verified: fields.get("verified").map(|v| v == "true").unwrap_or(false),
+        qasm: text("qasm"),
+        message: text("error"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_escapes() {
+        let nasty = "line1\nline2\t\"quoted\" \\slash\u{1}";
+        let line = format!("{{\"k\":\"{}\"}}", json_escape(nasty));
+        let fields = parse_flat_json(&line).unwrap();
+        assert_eq!(fields["k"], nasty);
+    }
+
+    #[test]
+    fn flat_json_accepts_numbers_and_booleans() {
+        let fields =
+            parse_flat_json("{\"gates\": 12, \"verified\": true, \"name\": \"x\"}").unwrap();
+        assert_eq!(fields["gates"], "12");
+        assert_eq!(fields["verified"], "true");
+        assert_eq!(fields["name"], "x");
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_a_reason() {
+        for bad in [
+            "",
+            "[]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":\"b\"",
+            "{\"a\":\"b\"} trailing",
+            "{\"a\":\"\\q\"}",
+        ] {
+            assert!(parse_flat_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn request_parsing_requires_every_field() {
+        let full = "{\"tenant\":\"t\",\"id\":\"1\",\"source\":\"OPENQASM 3.0;\"}";
+        let request = parse_request(full).unwrap();
+        assert_eq!(request.tenant, "t");
+        assert_eq!(request.id, "1");
+        assert_eq!(request.source, "OPENQASM 3.0;");
+        let error = parse_request("{\"tenant\":\"t\",\"id\":\"1\"}").unwrap_err();
+        assert!(error.reason.contains("source"));
+        assert_eq!((error.tenant.as_str(), error.id.as_str()), ("t", "1"));
+        let garbage = parse_request("not json").unwrap_err();
+        assert!(garbage.tenant.is_empty() && garbage.id.is_empty());
+    }
+
+    #[test]
+    fn reply_parsing_reads_every_status() {
+        let ok = parse_reply(
+            "{\"tenant\":\"t\",\"id\":\"1\",\"status\":\"ok\",\"gates\":3,\"depth\":2,\
+             \"verified\":true,\"qasm\":\"OPENQASM 3.0;\\n\"}",
+        )
+        .unwrap();
+        assert!(ok.is_ok());
+        assert_eq!((ok.gates, ok.depth), (3, 2));
+        assert!(ok.verified);
+        assert_eq!(ok.qasm, "OPENQASM 3.0;\n");
+        let rejected = parse_reply(&rejected_reply("t", "2", "tenant queue is full")).unwrap();
+        assert_eq!(rejected.status, JobStatus::Rejected);
+        assert_eq!(rejected.message, "tenant queue is full");
+        let error = parse_reply(&error_reply("t", "3", "boom")).unwrap();
+        assert_eq!(error.status, JobStatus::Error);
+        assert!(parse_reply("{\"status\":\"odd\"}").is_err());
+    }
+}

@@ -158,6 +158,18 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Records an externally measured value (in nanoseconds) into the process
+/// summary under the given name.
+///
+/// For benches whose metric is not a simple mean over `Bencher::iter`
+/// iterations — latency percentiles under concurrent load, for example —
+/// the harness cannot time the routine itself.  Such benches measure on
+/// their own and report here; the value flows into the printed table and
+/// the JSON summary exactly like a timed mean.
+pub fn record(name: &str, nanos: f64) {
+    report(name, nanos);
+}
+
 fn report(name: &str, mean_nanos: f64) {
     if mean_nanos >= 1_000_000.0 {
         println!(
@@ -298,6 +310,12 @@ mod tests {
         assert!(summary.contains("\"results\""));
         assert!(summary.contains("sum/range/10"));
         assert!(summary.contains("\"mean_ns\""));
+    }
+
+    #[test]
+    fn externally_measured_values_are_recorded() {
+        record("external/p99", 1234.5);
+        assert!(json_summary().contains("external/p99"));
     }
 
     #[test]
