@@ -1,0 +1,5 @@
+// A user-chosen register name must survive print → parse round trips.
+qudit[3] work[3];
+ctrl @ swap(0, 1) work[0], work[2];
+shift(2) work[1];
+sum work[1], work[2];

@@ -9,6 +9,8 @@ use qudit_baselines::{
     CleanAncillaMct, CliffordTCostModel,
 };
 use qudit_core::pipeline::CacheMode;
+use qudit_core::route::NoiseAwareCost;
+use qudit_core::topology::CouplingGraph;
 use qudit_core::{Dimension, QuditId, SingleQuditOp};
 use qudit_reversible::{lower_bound, ReversibleFunction, ReversibleSynthesizer};
 use qudit_sim::equivalence::{
@@ -47,6 +49,26 @@ fn scheduled_sweep_compiler() -> Compiler {
         .schedule(true)
         .cache(CacheMode::PerRun)
         .compiler()
+}
+
+/// The routed leg of the E10/E11 sweeps: the same scheduled flow with a
+/// linear coupling graph sized to the sweep's widest job and the
+/// noise-aware cost model, so the tables can report routed-depth,
+/// swap-count and weighted-cost columns next to the all-to-all baseline.
+/// Narrower jobs are embedded into the graph; their extra sites act as
+/// borrowed ancillas (the router's epilogue restores the identity wire
+/// permutation).
+fn routed_sweep_options(jobs: &[qudit_core::Circuit]) -> CompileOptions {
+    let sites = jobs.iter().map(|job| job.width()).max().unwrap_or(1);
+    CompileOptions::new()
+        .schedule(true)
+        .cache(CacheMode::PerRun)
+        .topology(CouplingGraph::linear(sites).expect("the sweep's widest job fits a chain"))
+        .cost(NoiseAwareCost::default())
+}
+
+fn routed_sweep_compiler(jobs: &[qudit_core::Circuit]) -> Compiler {
+    routed_sweep_options(jobs).compiler()
 }
 
 /// Parameter scale of the experiment suite.
@@ -298,16 +320,21 @@ pub fn e10_peephole(scale: Scale) -> Table {
     let batch = scheduled_sweep_compiler()
         .compile_batch(&jobs)
         .expect("the k-Toffoli sweep compiles");
-    e10_table_from_results(&sweep, &syntheses, &batch.results)
+    let routed = routed_sweep_compiler(&jobs)
+        .compile_batch(&jobs)
+        .expect("the routed k-Toffoli sweep compiles");
+    e10_table_from_results(&sweep, &syntheses, &batch.results, &routed.results)
 }
 
 /// Renders the E10 table from per-job syntheses and compile results (one of
-/// each per sweep entry).  Exposed so tests can compare the batch path
-/// against a sequentially compiled sweep.
+/// each per sweep entry; `routed` holds the same jobs compiled through the
+/// linear-chain routed flow of `routed_sweep_options`).  Exposed so tests
+/// can compare the batch path against a sequentially compiled sweep.
 pub fn e10_table_from_results(
     sweep: &[(u32, usize)],
     syntheses: &[qudit_synthesis::MctSynthesis],
     results: &[CompileResult],
+    routed: &[CompileResult],
 ) -> Table {
     let mut table = Table::new(
         "E10 — peephole optimisation and depth scheduling of the lowered k-Toffoli circuits",
@@ -320,12 +347,17 @@ pub fn e10_table_from_results(
             "depth",
             "scheduled depth",
             "depth saved %",
+            "routed depth",
+            "swaps",
+            "weighted cost",
             "sim backend",
             "clifford",
             "verified",
         ],
     );
-    for ((&(d, k), synthesis), report) in sweep.iter().zip(syntheses).zip(results) {
+    for (((&(d, k), synthesis), report), routed) in
+        sweep.iter().zip(syntheses).zip(results).zip(routed)
+    {
         let cancel = report
             .stats_for("cancel-inverse-pairs")
             .expect("the scheduled pipeline cancels inverse pairs");
@@ -356,6 +388,19 @@ pub fn e10_table_from_results(
         };
         let removed = g_gates - optimized_gates;
         let depth_saved = depth_before - depth_after;
+        // The routed leg of the same job: circuit depth once the SWAP
+        // ladders are in (before the final scheduling stage packs it), the
+        // number of inserted SWAPs, and the noise-aware weighted cost of
+        // the routed circuit.
+        let routed_depth = routed
+            .routed_depth
+            .expect("the routed sweep reports a routed depth");
+        let swaps = routed
+            .swap_count
+            .expect("the routed sweep reports a swap count");
+        let weighted = routed
+            .weighted_cost
+            .expect("the routed sweep reports a weighted cost");
         table.push_row(vec![
             d.to_string(),
             k.to_string(),
@@ -365,6 +410,9 @@ pub fn e10_table_from_results(
             depth_before.to_string(),
             depth_after.to_string(),
             fmt_f64(100.0 * depth_saved as f64 / depth_before.max(1) as f64),
+            routed_depth.to_string(),
+            swaps.to_string(),
+            fmt_f64(weighted),
             backend.label().to_string(),
             is_clifford_circuit(&report.circuit).to_string(),
             verified.to_string(),
@@ -397,16 +445,26 @@ pub fn e11_sweep(scale: Scale) -> Vec<(u32, usize)> {
 /// and the table matches the sequential path (wall times aside).
 pub fn e11_pipeline(scale: Scale) -> Table {
     let sweep = e11_sweep(scale);
+    let jobs = sweep_jobs(&sweep);
     let batch = scheduled_sweep_compiler()
-        .compile_batch(&sweep_jobs(&sweep))
+        .compile_batch(&jobs)
         .expect("the k-Toffoli sweep compiles");
-    e11_table_from_results(&sweep, &batch.results)
+    let routed = routed_sweep_compiler(&jobs)
+        .compile_batch(&jobs)
+        .expect("the routed k-Toffoli sweep compiles");
+    e11_table_from_results(&sweep, &batch.results, &routed.results)
 }
 
 /// Renders the E11 table from per-job compile results (one per sweep
-/// entry).  Exposed so tests can compare the batch path against a
-/// sequentially compiled sweep.
-pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult]) -> Table {
+/// entry; `routed` holds the same jobs compiled through the linear-chain
+/// routed flow, whose per-job routed-depth / swap-count / weighted-cost
+/// figures repeat on every pass row of that job).  Exposed so tests can
+/// compare the batch path against a sequentially compiled sweep.
+pub fn e11_table_from_results(
+    sweep: &[(u32, usize)],
+    results: &[CompileResult],
+    routed: &[CompileResult],
+) -> Table {
     let mut table = Table::new(
         "E11 — standard pipeline per-pass statistics (macro -> fused -> elementary -> G -> optimised)",
         &[
@@ -424,10 +482,13 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
             "sim backend",
             "clifford",
             "qasm bytes",
+            "routed depth",
+            "swap count",
+            "weighted cost",
             "elapsed µs",
         ],
     );
-    for (&(d, k), report) in sweep.iter().zip(results) {
+    for ((&(d, k), report), routed) in sweep.iter().zip(results).zip(routed) {
         // The backend the Auto classicality scan picks for this job's
         // compiled circuit — what any downstream re-simulation (fidelity
         // checks, `VerifyEquivalence`) of the sweep would run on — and
@@ -438,6 +499,15 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
         let backend = SimBackend::Auto.resolve(&report.circuit);
         let clifford = is_clifford_circuit(&report.circuit);
         let qasm_bytes = qudit_core::qasm::print_circuit(&report.circuit).len();
+        let routed_depth = routed
+            .routed_depth
+            .expect("the routed sweep reports a routed depth");
+        let swap_count = routed
+            .swap_count
+            .expect("the routed sweep reports a swap count");
+        let weighted = routed
+            .weighted_cost
+            .expect("the routed sweep reports a weighted cost");
         for stats in &report.stats {
             let (cache_hits, cache_rate) = match stats.cache {
                 Some(cache) if cache.total() > 0 => {
@@ -461,6 +531,9 @@ pub fn e11_table_from_results(sweep: &[(u32, usize)], results: &[CompileResult])
                 backend.label().to_string(),
                 clifford.to_string(),
                 qasm_bytes.to_string(),
+                routed_depth.to_string(),
+                swap_count.to_string(),
+                fmt_f64(weighted),
                 fmt_f64(stats.elapsed.as_secs_f64() * 1e6),
             ]);
         }
@@ -1149,13 +1222,19 @@ mod tests {
         let sweep = e11_sweep(Scale::Quick);
         let jobs = sweep_jobs(&sweep);
 
-        // Sequential reference: one job at a time, in order.
+        // Sequential reference: one job at a time, in order, on both the
+        // all-to-all and the routed leg.
         let compiler = scheduled_sweep_compiler();
         let sequential: Vec<CompileResult> = jobs
             .iter()
             .map(|job| compiler.compile(job).unwrap())
             .collect();
-        // Batch path, forced multi-threaded.
+        let routed_compiler = routed_sweep_compiler(&jobs);
+        let routed_sequential: Vec<CompileResult> = jobs
+            .iter()
+            .map(|job| routed_compiler.compile(job).unwrap())
+            .collect();
+        // Batch path, forced multi-threaded, on both legs.
         let batch = CompileOptions::new()
             .schedule(true)
             .cache(CacheMode::PerRun)
@@ -1163,9 +1242,14 @@ mod tests {
             .compiler()
             .compile_batch(&jobs)
             .unwrap();
+        let routed_batch = routed_sweep_options(&jobs)
+            .threads(Threads::Fixed(4))
+            .compiler()
+            .compile_batch(&jobs)
+            .unwrap();
 
-        let sequential_table = e11_table_from_results(&sweep, &sequential);
-        let batch_table = e11_table_from_results(&sweep, &batch.results);
+        let sequential_table = e11_table_from_results(&sweep, &sequential, &routed_sequential);
+        let batch_table = e11_table_from_results(&sweep, &batch.results, &routed_batch.results);
         assert_eq!(
             without_elapsed(&sequential_table),
             without_elapsed(&batch_table),
@@ -1243,6 +1327,11 @@ mod tests {
             .iter()
             .map(|job| compiler.compile(job).unwrap())
             .collect();
+        let routed_compiler = routed_sweep_compiler(&jobs);
+        let routed_sequential: Vec<CompileResult> = jobs
+            .iter()
+            .map(|job| routed_compiler.compile(job).unwrap())
+            .collect();
         let batch = CompileOptions::new()
             .schedule(true)
             .cache(CacheMode::PerRun)
@@ -1250,10 +1339,58 @@ mod tests {
             .compiler()
             .compile_batch(&jobs)
             .unwrap();
+        let routed_batch = routed_sweep_options(&jobs)
+            .threads(Threads::Fixed(4))
+            .compiler()
+            .compile_batch(&jobs)
+            .unwrap();
         assert_eq!(
-            e10_table_from_results(&sweep, &syntheses, &sequential).rows,
-            e10_table_from_results(&sweep, &syntheses, &batch.results).rows,
+            e10_table_from_results(&sweep, &syntheses, &sequential, &routed_sequential).rows,
+            e10_table_from_results(&sweep, &syntheses, &batch.results, &routed_batch.results).rows,
             "batch compilation must reproduce the sequential E10 table"
         );
+    }
+
+    /// The routed leg of the E10 sweep honours the coupling graph — every
+    /// multi-qudit gate of every routed circuit acts on a coupled pair —
+    /// and still implements the k-Toffoli (the router's epilogue restores
+    /// the identity wire permutation, so the embedding's extra sites act
+    /// as borrowed ancillas).
+    #[test]
+    fn e10_routed_sweep_is_adjacent_and_verifies() {
+        use qudit_core::route::validate_adjacency;
+
+        let sweep = e10_sweep(Scale::Quick);
+        let syntheses = sweep_syntheses(&sweep);
+        let jobs = sweep_jobs(&sweep);
+        let sites = jobs.iter().map(|job| job.width()).max().unwrap();
+        let graph = CouplingGraph::linear(sites).unwrap();
+        let routed = routed_sweep_compiler(&jobs).compile_batch(&jobs).unwrap();
+        for ((&(d, k), synthesis), report) in sweep.iter().zip(&syntheses).zip(&routed.results) {
+            validate_adjacency(&report.circuit, &graph)
+                .unwrap_or_else(|e| panic!("routed d={d} k={k} violates the chain: {e}"));
+            assert!(
+                report.swap_count.is_some()
+                    && report.routed_depth.is_some()
+                    && report.weighted_cost.is_some(),
+                "routed d={d} k={k} must report the routing columns"
+            );
+            let spec = MctSpec::toffoli(
+                synthesis.layout().controls.clone(),
+                synthesis.layout().target,
+            );
+            let backend = SimBackend::Auto.resolve(&report.circuit);
+            let verified = if dim(d).register_size(report.circuit.width()) <= 4096 {
+                verify_mct_exhaustive_with(&report.circuit, &spec, backend)
+                    .unwrap()
+                    .is_pass()
+            } else {
+                let mut rng = StdRng::seed_from_u64(7);
+                verify_mct_sampled_with(&report.circuit, &spec, 50, &mut rng, backend)
+                    .unwrap()
+                    .is_pass()
+            };
+            assert!(verified, "routed d={d} k={k} failed Toffoli verification");
+        }
     }
 }

@@ -29,11 +29,24 @@ use crate::qudit::QuditId;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Circuit {
     dimension: Dimension,
     width: usize,
     gates: Vec<Gate>,
+    /// The register name the circuit was parsed with, when it came from the
+    /// text IR (see [`crate::qasm`]).  Presentation metadata only: excluded
+    /// from equality so a parsed circuit still compares equal to the same
+    /// circuit built programmatically.
+    register_name: Option<String>,
+}
+
+/// Equality ignores [`Circuit::register_name`]: it is presentation
+/// metadata, not part of the circuit's semantics.
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Self) -> bool {
+        self.dimension == other.dimension && self.width == other.width && self.gates == other.gates
+    }
 }
 
 impl Circuit {
@@ -43,7 +56,20 @@ impl Circuit {
             dimension,
             width,
             gates: Vec::new(),
+            register_name: None,
         }
+    }
+
+    /// The register name the circuit carries for text-IR printing, when it
+    /// has one (set by the QASM lowering, `None` for programmatically built
+    /// circuits, which print as the canonical register `q`).
+    pub fn register_name(&self) -> Option<&str> {
+        self.register_name.as_deref()
+    }
+
+    /// Sets the register name used when printing the circuit as text IR.
+    pub fn set_register_name(&mut self, name: impl Into<String>) {
+        self.register_name = Some(name.into());
     }
 
     /// The qudit dimension `d`.
@@ -139,6 +165,7 @@ impl Circuit {
             dimension: self.dimension,
             width: self.width,
             gates,
+            register_name: self.register_name.clone(),
         }
     }
 
@@ -157,6 +184,7 @@ impl Circuit {
             dimension: self.dimension,
             width,
             gates: self.gates.clone(),
+            register_name: self.register_name.clone(),
         })
     }
 
@@ -367,6 +395,19 @@ mod tests {
         assert_eq!(c.max_controls(), 2);
         assert_eq!(c.arity_histogram(), vec![(1, 1), (2, 1), (3, 1)]);
         assert_eq!(c.used_qudits().len(), 3);
+    }
+
+    #[test]
+    fn register_name_is_metadata_not_semantics() {
+        let mut named = toffoli_like(dim(3));
+        named.set_register_name("work");
+        let anonymous = toffoli_like(dim(3));
+        // Equality ignores the name…
+        assert_eq!(named, anonymous);
+        // …but derived circuits keep it.
+        assert_eq!(named.inverse().register_name(), Some("work"));
+        assert_eq!(named.widened(5).unwrap().register_name(), Some("work"));
+        assert_eq!(anonymous.register_name(), None);
     }
 
     #[test]

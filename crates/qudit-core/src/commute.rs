@@ -45,9 +45,9 @@
 //! | shared qudit is…           | commutes when…                                        |
 //! |----------------------------|-------------------------------------------------------|
 //! | read by both gates         | always (both act block-diagonally in its basis)       |
-//! | written by both (same target) | the two target operations commute (additive ops always; classical ops by permutation check; unitaries by `d × d` commutator) |
-//! | written by one, a control of the other | the writer's operation is a fixed classical permutation under which the control predicate is invariant |
-//! | written by one, the `X±⋆` source of the other | never claimed (the source value feeds the shift) |
+//! | written by both (same target) | the two target operations commute (additive ops always; diagonal ops always; classical ops by permutation check; unitaries by `d × d` commutator) |
+//! | written by one, a control of the other | the writer's operation is diagonal in the computational basis, **or** a fixed classical permutation under which the control predicate is invariant |
+//! | written by one, the `X±⋆` source of the other | the writer's operation is diagonal (a diagonal write never changes the source value feeding the shift) |
 //!
 //! Gates sharing no qudit always commute.
 //!
@@ -148,6 +148,22 @@ fn target_permutation(gate: &Gate, dimension: Dimension) -> Option<Permutation> 
     }
 }
 
+/// Returns `true` when the gate's target operation is diagonal in the
+/// computational basis.  Controls are basis projectors, so the *whole gate*
+/// is then a diagonal operator: it commutes with anything that only reads
+/// its target, whatever the control predicate.
+fn target_is_diagonal(gate: &Gate, dimension: Dimension) -> bool {
+    match gate.op() {
+        GateOp::Single(op) => {
+            let matrix = op.to_matrix(dimension);
+            let size = matrix.size();
+            (0..size)
+                .all(|r| (0..size).all(|c| r == c || matrix[(r, c)].norm() <= MATRIX_TOLERANCE))
+        }
+        GateOp::AddFrom { .. } => false,
+    }
+}
+
 /// Returns `true` when the predicate fires on exactly the same levels before
 /// and after the permutation — the condition under which a controlled gate
 /// commutes with a classical gate writing its control qudit.
@@ -174,6 +190,10 @@ struct GateInfo {
     permutation: Option<Permutation>,
     /// Whether the target operation is a translation `|t⟩ ↦ |t + y mod d⟩`.
     additive: bool,
+    /// Whether the target operation is diagonal in the computational basis
+    /// (the whole gate is then a diagonal operator — controls are basis
+    /// projectors).
+    diagonal: bool,
 }
 
 impl GateInfo {
@@ -182,6 +202,7 @@ impl GateInfo {
             support: gate.qudits(),
             permutation: target_permutation(gate, dimension),
             additive: is_additive(gate.op()),
+            diagonal: target_is_diagonal(gate, dimension),
         }
     }
 }
@@ -192,6 +213,10 @@ fn ops_commute(dimension: Dimension, a: &Gate, ia: &GateInfo, b: &Gate, ib: &Gat
     if ia.additive && ib.additive {
         // Translations mod d form an abelian group; this covers `X±⋆`
         // against `X±⋆` and `X+y` in either order.
+        return true;
+    }
+    if ia.diagonal && ib.diagonal {
+        // Diagonal matrices always commute — the diagonal-vs-diagonal rule.
         return true;
     }
     match (&ia.permutation, &ib.permutation) {
@@ -236,20 +261,29 @@ fn commute_with_info(
             // (the controls only ever substitute the identity, which
             // commutes with everything).
             (Role::Target, Role::Target) => ops_commute(dimension, a, ia, b, ib),
-            // Write-read through a control: the writer must apply a fixed
-            // classical permutation that the reader's predicate cannot
-            // observe.
-            (Role::Target, Role::Control(predicate)) => ia
-                .permutation
-                .as_ref()
-                .is_some_and(|p| predicate_invariant_under(predicate, p, dimension)),
-            (Role::Control(predicate), Role::Target) => ib
-                .permutation
-                .as_ref()
-                .is_some_and(|p| predicate_invariant_under(predicate, p, dimension)),
+            // Write-read through a control: a diagonal writer is invisible
+            // to any basis-diagonal reader; otherwise the writer must apply
+            // a fixed classical permutation that the reader's predicate
+            // cannot observe.
+            (Role::Target, Role::Control(predicate)) => {
+                ia.diagonal
+                    || ia
+                        .permutation
+                        .as_ref()
+                        .is_some_and(|p| predicate_invariant_under(predicate, p, dimension))
+            }
+            (Role::Control(predicate), Role::Target) => {
+                ib.diagonal
+                    || ib
+                        .permutation
+                        .as_ref()
+                        .is_some_and(|p| predicate_invariant_under(predicate, p, dimension))
+            }
             // Write-read through an `X±⋆` source: the source *value* feeds
-            // the shift, so any write is observable.  No structural rule.
-            (Role::Target, Role::Source) | (Role::Source, Role::Target) => false,
+            // the shift, so only a diagonal write (which never changes the
+            // value) is compatible.
+            (Role::Target, Role::Source) => ia.diagonal,
+            (Role::Source, Role::Target) => ib.diagonal,
         };
         if !compatible {
             return false;
@@ -814,6 +848,33 @@ mod tests {
         assert!(!gates_commute(d, &as_unitary, &clash));
         let identity = Gate::single(SingleQuditOp::Unitary(SquareMatrix::identity(3)), q(0));
         assert!(gates_commute(d, &identity, &clash));
+    }
+
+    #[test]
+    fn diagonal_writes_commute_with_readers_and_each_other() {
+        let d = dim(3);
+        // The Clifford phase gate is diagonal but not a permutation, so the
+        // permutation-based rules cannot see it.
+        let phase = Gate::single(SingleQuditOp::clifford_phase(d), q(0));
+        // Diagonal write vs a control reading the same qudit.
+        let controlled =
+            Gate::controlled(SingleQuditOp::Swap(0, 1), q(1), vec![Control::odd(q(0))]);
+        assert!(gates_commute(d, &phase, &controlled));
+        assert!(gates_commute(d, &controlled, &phase));
+        // Diagonal write vs an `X±⋆` reading the same qudit as its source.
+        let shift = Gate::add_from(q(0), false, q(1), vec![]);
+        assert!(gates_commute(d, &phase, &shift));
+        assert!(gates_commute(d, &shift, &phase));
+        // Diagonal vs diagonal on the same target, even under controls.
+        let controlled_phase = Gate::controlled(
+            SingleQuditOp::clifford_phase(d),
+            q(0),
+            vec![Control::zero(q(2))],
+        );
+        assert!(gates_commute(d, &phase, &controlled_phase));
+        // A non-diagonal write into the source is still refused.
+        let bump = Gate::single(SingleQuditOp::Add(1), q(0));
+        assert!(!gates_commute(d, &bump, &shift));
     }
 
     fn sample_circuit() -> Circuit {

@@ -118,6 +118,44 @@ pub enum QuditError {
         /// The rendered [`crate::qasm::ParseErrorKind`] message.
         message: String,
     },
+    /// A coupling graph has fewer sites than the operation needs: an
+    /// undersized builder argument, or a circuit wider than the graph it is
+    /// routed onto (see [`crate::topology`]).
+    TopologyTooSmall {
+        /// Number of sites the graph has (or was asked to have).
+        sites: usize,
+        /// Minimum number of sites required.
+        minimum: usize,
+    },
+    /// A coupling graph does not connect all of its sites, so no routing can
+    /// bring every pair of qudits adjacent (see [`crate::topology`]).
+    TopologyDisconnected {
+        /// Number of sites reachable from site 0.
+        reached: usize,
+        /// Total number of sites.
+        sites: usize,
+    },
+    /// A custom coupling edge is invalid: a self-loop, or an endpoint outside
+    /// the site range (see [`crate::topology::CouplingGraph::custom`]).
+    TopologyInvalidEdge {
+        /// First endpoint of the rejected edge.
+        a: usize,
+        /// Second endpoint of the rejected edge.
+        b: usize,
+        /// Number of sites in the graph.
+        sites: usize,
+    },
+    /// A circuit violates a coupling graph's adjacency invariant: a
+    /// multi-qudit gate acts on two sites the graph does not couple (see
+    /// [`crate::route::validate_adjacency`]).
+    UncoupledGate {
+        /// Index of the offending gate in the circuit.
+        gate: usize,
+        /// First site the gate touches.
+        a: usize,
+        /// Second (uncoupled) site the gate touches.
+        b: usize,
+    },
 }
 
 impl fmt::Display for QuditError {
@@ -205,6 +243,30 @@ impl fmt::Display for QuditError {
                     "qasm parse failed at line {line}, column {column}: {message}"
                 )
             }
+            QuditError::TopologyTooSmall { sites, minimum } => {
+                write!(
+                    f,
+                    "coupling graph has {sites} sites but at least {minimum} are required"
+                )
+            }
+            QuditError::TopologyDisconnected { reached, sites } => {
+                write!(
+                    f,
+                    "coupling graph is disconnected: only {reached} of {sites} sites are reachable from site 0"
+                )
+            }
+            QuditError::TopologyInvalidEdge { a, b, sites } => {
+                write!(
+                    f,
+                    "coupling edge ({a}, {b}) is invalid for a graph with {sites} sites"
+                )
+            }
+            QuditError::UncoupledGate { gate, a, b } => {
+                write!(
+                    f,
+                    "gate {gate} acts on qudits {a} and {b}, which the coupling graph does not couple"
+                )
+            }
         }
     }
 }
@@ -272,6 +334,24 @@ mod tests {
                 line: 2,
                 column: 1,
                 message: "unknown gate 'wiggle'".into(),
+            },
+            QuditError::TopologyTooSmall {
+                sites: 2,
+                minimum: 3,
+            },
+            QuditError::TopologyDisconnected {
+                reached: 3,
+                sites: 5,
+            },
+            QuditError::TopologyInvalidEdge {
+                a: 0,
+                b: 7,
+                sites: 4,
+            },
+            QuditError::UncoupledGate {
+                gate: 9,
+                a: 0,
+                b: 3,
             },
         ];
         for error in errors {

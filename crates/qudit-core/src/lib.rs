@@ -29,6 +29,12 @@
 //! * [`qasm`] — the OpenQASM-3-flavoured text IR: lexer, parser, semantic
 //!   lowering and an exact-inverse pretty-printer with spanned
 //!   [`qasm::ParseError`] diagnostics;
+//! * [`topology`] — device coupling graphs ([`topology::CouplingGraph`]:
+//!   linear, ring, grid, heavy-hex and custom) with an all-pairs BFS
+//!   distance matrix;
+//! * [`route`] — connectivity routing: greedy placement, the lookahead
+//!   SWAP-ladder router, cost models ([`route::UniformCost`],
+//!   [`route::NoiseAwareCost`]) and the `"route"` pipeline stage;
 //! * [`math`] — minimal complex numbers and dense matrices;
 //! * [`AncillaKind`], [`AncillaUsage`] — ancilla bookkeeping.
 //!
@@ -81,6 +87,8 @@ pub mod pipeline;
 pub mod pool;
 pub mod qasm;
 mod qudit;
+pub mod route;
+pub mod topology;
 
 pub use ancilla::{AncillaKind, AncillaUsage};
 pub use circuit::Circuit;

@@ -41,6 +41,7 @@ pub fn lower_program(program: &Program) -> Result<Circuit, ParseError> {
     let dimension = Dimension::new(register.dimension)
         .map_err(|e| ParseError::new(ParseErrorKind::Semantic(e), register.span))?;
     let mut circuit = Circuit::new(dimension, register.size);
+    circuit.set_register_name(&register.name);
     for statement in &program.statements {
         let gate = lower_statement(statement, &register.name, dimension)?;
         circuit

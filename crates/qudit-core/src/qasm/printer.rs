@@ -18,36 +18,42 @@ use crate::ops::SingleQuditOp;
 /// Prints a circuit in the canonical dialect form (see [the module-level
 /// grammar](super)).
 ///
+/// A circuit carrying a [`Circuit::register_name`] (set by the parser)
+/// prints with that name, so `parse → print → parse` preserves user-chosen
+/// register names; programmatically built circuits print as the canonical
+/// register `q`.
+///
 /// # Example
 ///
 /// ```
 /// use qudit_core::qasm::{parse_source, print_circuit};
 ///
-/// let circuit = parse_source("qudit[3] q[2]; ctrl(odd) @ shift(2) q[0], q[1];")?;
+/// let circuit = parse_source("qudit[3] work[2]; ctrl(odd) @ shift(2) work[0], work[1];")?;
 /// let printed = print_circuit(&circuit);
 /// assert_eq!(
 ///     printed,
-///     "OPENQASM 3.0;\nqudit[3] q[2];\nctrl(odd) @ shift(2) q[0], q[1];\n"
+///     "OPENQASM 3.0;\nqudit[3] work[2];\nctrl(odd) @ shift(2) work[0], work[1];\n"
 /// );
 /// assert_eq!(parse_source(&printed)?, circuit);
 /// # Ok::<(), qudit_core::qasm::ParseError>(())
 /// ```
 pub fn print_circuit(circuit: &Circuit) -> String {
+    let register = circuit.register_name().unwrap_or("q");
     let mut out = String::new();
     out.push_str("OPENQASM 3.0;\n");
     let _ = writeln!(
         out,
-        "qudit[{}] q[{}];",
+        "qudit[{}] {register}[{}];",
         circuit.dimension().get(),
         circuit.width()
     );
     for gate in circuit.gates() {
-        print_gate(&mut out, gate);
+        print_gate(&mut out, gate, register);
     }
     out
 }
 
-fn print_gate(out: &mut String, gate: &Gate) {
+fn print_gate(out: &mut String, gate: &Gate, register: &str) {
     for control in gate.controls() {
         match control.predicate {
             ControlPredicate::Level(0) => out.push_str("ctrl @ "),
@@ -70,10 +76,10 @@ fn print_gate(out: &mut String, gate: &Gate) {
     let mut first = true;
     for qudit in gate.qudits() {
         if first {
-            let _ = write!(out, " q[{}]", qudit.index());
+            let _ = write!(out, " {register}[{}]", qudit.index());
             first = false;
         } else {
-            let _ = write!(out, ", q[{}]", qudit.index());
+            let _ = write!(out, ", {register}[{}]", qudit.index());
         }
     }
     out.push_str(";\n");

@@ -1,0 +1,458 @@
+//! Hardware coupling graphs: which pairs of physical qudits can interact.
+//!
+//! The synthesis pipeline historically assumed all-to-all connectivity;
+//! real qudit devices constrain two-qudit interactions to the edges of a
+//! *coupling graph*.  This module provides the graph substrate for the
+//! [`crate::route`] subsystem:
+//!
+//! * [`CouplingGraph`] — an undirected, connected graph over physical
+//!   *sites* with builders for the common device layouts ([`linear`],
+//!   [`ring`], [`grid`], [`heavy_hex`]) and arbitrary edge lists
+//!   ([`custom`]);
+//! * an all-pairs BFS distance matrix computed at construction, so
+//!   [`distance`], [`shortest_path`] and [`center`] queries are cheap inside
+//!   the router's inner loop;
+//! * typed errors for the failure modes a device description can exhibit:
+//!   [`QuditError::TopologyTooSmall`], [`QuditError::TopologyDisconnected`]
+//!   and [`QuditError::TopologyInvalidEdge`].
+//!
+//! [`linear`]: CouplingGraph::linear
+//! [`ring`]: CouplingGraph::ring
+//! [`grid`]: CouplingGraph::grid
+//! [`heavy_hex`]: CouplingGraph::heavy_hex
+//! [`custom`]: CouplingGraph::custom
+//! [`distance`]: CouplingGraph::distance
+//! [`shortest_path`]: CouplingGraph::shortest_path
+//! [`center`]: CouplingGraph::center
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_core::topology::CouplingGraph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chain = CouplingGraph::linear(5)?;
+//! assert!(chain.are_coupled(1, 2));
+//! assert!(!chain.are_coupled(0, 4));
+//! assert_eq!(chain.distance(0, 4), 4);
+//! assert_eq!(chain.shortest_path(0, 3), vec![0, 1, 2, 3]);
+//!
+//! // A 2×3 grid shortens the worst-case distance.
+//! let grid = CouplingGraph::grid(2, 3)?;
+//! assert_eq!(grid.sites(), 6);
+//! assert_eq!(grid.diameter(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::error::{QuditError, Result};
+
+/// An undirected, connected coupling graph over physical qudit sites.
+///
+/// Sites are indexed `0, …, sites − 1`; an edge `(a, b)` means a two-qudit
+/// gate may act on the pair directly.  Construction validates the edge list
+/// and connectivity, then precomputes the all-pairs BFS distance matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CouplingGraph {
+    sites: usize,
+    /// Sorted neighbour lists, one per site.
+    neighbors: Vec<Vec<usize>>,
+    /// Canonical (`a < b`) edge list, sorted and deduplicated.
+    edges: Vec<(usize, usize)>,
+    /// Row-major `sites × sites` BFS distance matrix.
+    distances: Vec<u32>,
+}
+
+impl CouplingGraph {
+    /// Builds a graph from an explicit edge list over `sites` sites.
+    ///
+    /// Edges may appear in either orientation and repeatedly; they are
+    /// canonicalised and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuditError::TopologyTooSmall`] when `sites == 0`;
+    /// * [`QuditError::TopologyInvalidEdge`] for a self-loop or an endpoint
+    ///   `≥ sites`;
+    /// * [`QuditError::TopologyDisconnected`] when some site is unreachable
+    ///   from site 0.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::topology::CouplingGraph;
+    /// let star = CouplingGraph::custom(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+    /// assert_eq!(star.distance(1, 3), 2);
+    /// assert!(CouplingGraph::custom(3, &[(0, 1)]).is_err()); // site 2 unreachable
+    /// ```
+    pub fn custom(sites: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        if sites == 0 {
+            return Err(QuditError::TopologyTooSmall { sites, minimum: 1 });
+        }
+        let mut canonical: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a == b || a >= sites || b >= sites {
+                return Err(QuditError::TopologyInvalidEdge { a, b, sites });
+            }
+            canonical.push((a.min(b), a.max(b)));
+        }
+        canonical.sort_unstable();
+        canonical.dedup();
+        let mut neighbors = vec![Vec::new(); sites];
+        for &(a, b) in &canonical {
+            neighbors[a].push(b);
+            neighbors[b].push(a);
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        let graph = CouplingGraph {
+            sites,
+            neighbors,
+            edges: canonical,
+            distances: Vec::new(),
+        };
+        let from_zero = graph.bfs_distances(0);
+        let reached = from_zero.iter().filter(|&&d| d != u32::MAX).count();
+        if reached != sites {
+            return Err(QuditError::TopologyDisconnected { reached, sites });
+        }
+        let mut distances = Vec::with_capacity(sites * sites);
+        distances.extend_from_slice(&from_zero);
+        for site in 1..sites {
+            distances.extend_from_slice(&graph.bfs_distances(site));
+        }
+        Ok(CouplingGraph { distances, ..graph })
+    }
+
+    /// A linear chain `0 — 1 — … — (sites − 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuditError::TopologyTooSmall`] when `sites == 0`.
+    pub fn linear(sites: usize) -> Result<Self> {
+        if sites == 0 {
+            return Err(QuditError::TopologyTooSmall { sites, minimum: 1 });
+        }
+        let edges: Vec<(usize, usize)> = (1..sites).map(|i| (i - 1, i)).collect();
+        Self::custom(sites, &edges)
+    }
+
+    /// A ring: the linear chain plus the closing edge `(sites − 1, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuditError::TopologyTooSmall`] when `sites < 3` (smaller
+    /// rings degenerate to a chain or a self-loop).
+    pub fn ring(sites: usize) -> Result<Self> {
+        if sites < 3 {
+            return Err(QuditError::TopologyTooSmall { sites, minimum: 3 });
+        }
+        let mut edges: Vec<(usize, usize)> = (1..sites).map(|i| (i - 1, i)).collect();
+        edges.push((sites - 1, 0));
+        Self::custom(sites, &edges)
+    }
+
+    /// A `rows × cols` rectangular grid with 4-neighbour coupling; site
+    /// `(r, c)` has index `r · cols + c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuditError::TopologyTooSmall`] when either side is zero.
+    pub fn grid(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(QuditError::TopologyTooSmall {
+                sites: rows * cols,
+                minimum: 1,
+            });
+        }
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let site = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((site, site + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((site, site + cols));
+                }
+            }
+        }
+        Self::custom(rows * cols, &edges)
+    }
+
+    /// A heavy-hex style lattice: `rows` chains of `cols` sites, with
+    /// degree-2 *bridge* sites linking vertically adjacent chains at every
+    /// fourth column (offset alternating by row, as on IBM's heavy-hex
+    /// devices).  Bridge sites are indexed after the `rows · cols` chain
+    /// sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuditError::TopologyTooSmall`] when `rows == 0` or
+    /// `cols < 3` (narrower lattices cannot host the alternating bridge
+    /// pattern).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_core::topology::CouplingGraph;
+    /// let hex = CouplingGraph::heavy_hex(2, 5).unwrap();
+    /// // Two 5-site chains plus 2 bridges (columns 0 and 4 of the even row).
+    /// assert_eq!(hex.sites(), 12);
+    /// // Bridge sites have degree 2.
+    /// assert_eq!(hex.neighbors(10).len(), 2);
+    /// ```
+    pub fn heavy_hex(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols < 3 {
+            return Err(QuditError::TopologyTooSmall {
+                sites: rows * cols,
+                minimum: 3,
+            });
+        }
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 1..cols {
+                edges.push((r * cols + c - 1, r * cols + c));
+            }
+        }
+        let mut next_bridge = rows * cols;
+        for r in 0..rows.saturating_sub(1) {
+            // Even rows bridge at columns 0, 4, 8, …; odd rows at 2, 6, 10, …
+            let offset = 2 * (r % 2);
+            let mut c = offset;
+            while c < cols {
+                edges.push((r * cols + c, next_bridge));
+                edges.push((next_bridge, (r + 1) * cols + c));
+                next_bridge += 1;
+                c += 4;
+            }
+        }
+        Self::custom(next_bridge, &edges)
+    }
+
+    /// Number of physical sites.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// The canonical (`a < b`, sorted, deduplicated) edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The sorted neighbour list of a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` is out of range.
+    pub fn neighbors(&self, site: usize) -> &[usize] {
+        &self.neighbors[site]
+    }
+
+    /// Returns `true` when the two sites share an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either site is out of range.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        assert!(b < self.sites, "site {b} out of range");
+        self.neighbors[a].binary_search(&b).is_ok()
+    }
+
+    /// BFS distance (number of edges) between two sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either site is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.distances[a * self.sites + b] as usize
+    }
+
+    /// The largest distance between any two sites.
+    pub fn diameter(&self) -> usize {
+        self.distances.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// A site of minimum eccentricity (ties broken by lowest index) — the
+    /// seed the greedy placement grows from.
+    pub fn center(&self) -> usize {
+        (0..self.sites)
+            .min_by_key(|&site| {
+                self.distances[site * self.sites..(site + 1) * self.sites]
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+
+    /// A shortest path from `a` to `b`, inclusive of both endpoints
+    /// (deterministic: each step descends the distance matrix toward `b`
+    /// through the lowest-indexed qualifying neighbour).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either site is out of range.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut path = vec![a];
+        let mut current = a;
+        while current != b {
+            let next = self.neighbors[current]
+                .iter()
+                .copied()
+                .find(|&n| self.distance(n, b) + 1 == self.distance(current, b))
+                .expect("the graph is connected, so the distance always descends");
+            path.push(next);
+            current = next;
+        }
+        path
+    }
+
+    /// Single-source BFS distances (`u32::MAX` for unreachable sites; only
+    /// possible before the constructor's connectivity check has passed).
+    fn bfs_distances(&self, source: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.sites];
+        dist[source] = 0;
+        let mut queue = VecDeque::with_capacity(self.sites);
+        queue.push_back(source);
+        while let Some(site) = queue.pop_front() {
+            for &next in &self.neighbors[site] {
+                if dist[next] == u32::MAX {
+                    dist[next] = dist[site] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist
+    }
+}
+
+impl fmt::Debug for CouplingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CouplingGraph")
+            .field("sites", &self.sites)
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+impl fmt::Display for CouplingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coupling graph: {} sites, {} edges",
+            self.sites,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_distances_and_paths() {
+        let g = CouplingGraph::linear(6).unwrap();
+        assert_eq!(g.sites(), 6);
+        assert_eq!(g.edges().len(), 5);
+        assert_eq!(g.distance(0, 5), 5);
+        assert_eq!(g.shortest_path(5, 2), vec![5, 4, 3, 2]);
+        assert_eq!(g.diameter(), 5);
+        // The chain's centers are the middle sites; ties break low.
+        assert_eq!(g.center(), 2);
+        assert!(g.are_coupled(3, 4));
+        assert!(!g.are_coupled(0, 2));
+    }
+
+    #[test]
+    fn ring_halves_the_diameter() {
+        let chain = CouplingGraph::linear(8).unwrap();
+        let ring = CouplingGraph::ring(8).unwrap();
+        assert_eq!(chain.diameter(), 7);
+        assert_eq!(ring.diameter(), 4);
+        assert_eq!(ring.distance(0, 7), 1);
+        assert!(CouplingGraph::ring(2).is_err());
+    }
+
+    #[test]
+    fn grid_indexing_is_row_major() {
+        let g = CouplingGraph::grid(3, 4).unwrap();
+        assert_eq!(g.sites(), 12);
+        assert!(g.are_coupled(0, 1)); // (0,0)–(0,1)
+        assert!(g.are_coupled(0, 4)); // (0,0)–(1,0)
+        assert!(!g.are_coupled(3, 4)); // row wrap is not an edge
+        assert_eq!(g.distance(0, 11), 5);
+        assert!(CouplingGraph::grid(0, 3).is_err());
+    }
+
+    #[test]
+    fn heavy_hex_has_degree_two_bridges() {
+        let g = CouplingGraph::heavy_hex(3, 5).unwrap();
+        // 3 chains of 5, bridges at columns {0, 4} (row 0→1) and {2} (row 1→2).
+        assert_eq!(g.sites(), 15 + 3);
+        for bridge in 15..18 {
+            assert_eq!(g.neighbors(bridge).len(), 2, "bridge {bridge}");
+        }
+        // Chain interiors keep degree ≤ 3 (heavy-hex property).
+        for site in 0..15 {
+            assert!(g.neighbors(site).len() <= 3, "site {site}");
+        }
+        assert!(CouplingGraph::heavy_hex(2, 2).is_err());
+    }
+
+    #[test]
+    fn custom_rejects_bad_edges_and_disconnection() {
+        assert!(matches!(
+            CouplingGraph::custom(0, &[]),
+            Err(QuditError::TopologyTooSmall { .. })
+        ));
+        assert!(matches!(
+            CouplingGraph::custom(3, &[(0, 0)]),
+            Err(QuditError::TopologyInvalidEdge { .. })
+        ));
+        assert!(matches!(
+            CouplingGraph::custom(3, &[(0, 5)]),
+            Err(QuditError::TopologyInvalidEdge { .. })
+        ));
+        assert!(matches!(
+            CouplingGraph::custom(4, &[(0, 1), (2, 3)]),
+            Err(QuditError::TopologyDisconnected {
+                reached: 2,
+                sites: 4
+            })
+        ));
+        // Duplicate and reversed edges canonicalise away.
+        let g = CouplingGraph::custom(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn single_site_graph_is_valid() {
+        let g = CouplingGraph::linear(1).unwrap();
+        assert_eq!(g.sites(), 1);
+        assert_eq!(g.diameter(), 0);
+        assert_eq!(g.shortest_path(0, 0), vec![0]);
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_triangle_consistent() {
+        let g = CouplingGraph::heavy_hex(2, 5).unwrap();
+        let s = g.sites();
+        for a in 0..s {
+            for b in 0..s {
+                assert_eq!(g.distance(a, b), g.distance(b, a));
+                let path = g.shortest_path(a, b);
+                assert_eq!(path.len(), g.distance(a, b) + 1);
+                for step in path.windows(2) {
+                    assert!(g.are_coupled(step[0], step[1]));
+                }
+            }
+        }
+    }
+}

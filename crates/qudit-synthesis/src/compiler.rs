@@ -43,6 +43,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use qudit_core::cache::CacheCounters;
@@ -52,6 +53,8 @@ use qudit_core::pipeline::{
     PipelineReport, PipelineSpec,
 };
 use qudit_core::pool::WorkStealingPool;
+use qudit_core::route::{CostModel, RoutePass, UniformCost, SWAP_LADDER_GATES};
+use qudit_core::topology::CouplingGraph;
 use qudit_core::{Circuit, Dimension};
 use qudit_sim::pipeline::VerifyEquivalence;
 use qudit_sim::SimBackend;
@@ -159,7 +162,7 @@ pub enum OptLevel {
 ///     ]
 /// );
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CompileOptions {
     verify: Verify,
     backend: SimBackend,
@@ -170,6 +173,26 @@ pub struct CompileOptions {
     threads: Threads,
     pool: Option<WorkStealingPool>,
     shape: Option<(Dimension, usize)>,
+    topology: Option<CouplingGraph>,
+    cost: Arc<dyn CostModel>,
+}
+
+impl fmt::Debug for CompileOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileOptions")
+            .field("verify", &self.verify)
+            .field("backend", &self.backend)
+            .field("fusion", &self.fusion)
+            .field("cancel", &self.cancel)
+            .field("schedule", &self.schedule)
+            .field("cache", &self.cache)
+            .field("threads", &self.threads)
+            .field("pool", &self.pool)
+            .field("shape", &self.shape)
+            .field("topology", &self.topology)
+            .field("cost", &self.cost.name())
+            .finish()
+    }
 }
 
 impl Default for CompileOptions {
@@ -184,6 +207,8 @@ impl Default for CompileOptions {
             threads: Threads::Auto,
             pool: None,
             shape: None,
+            topology: None,
+            cost: Arc::new(UniformCost),
         }
     }
 }
@@ -293,6 +318,36 @@ impl CompileOptions {
         self
     }
 
+    /// Routes compiled circuits onto a device coupling graph (default: off —
+    /// all-to-all connectivity, no `"route"` stage).
+    ///
+    /// With a topology set, the input circuit is first embedded in the
+    /// graph's full site register, then — after lowering and cancellation,
+    /// before scheduling — the `"route"` stage rewrites it so every
+    /// two-qudit gate acts on a coupled pair, appending the
+    /// inverse-permutation SWAP epilogue so the stage is
+    /// semantics-preserving (and verifies under every [`Verify`] mode and
+    /// backend).  [`CompileResult`] then reports `swap_count`,
+    /// `routed_depth` and `weighted_cost`.
+    ///
+    /// Composes with [`CompileOptions::shape`] only when the pinned width
+    /// equals the graph's site count (the pipeline sees the embedded
+    /// circuit).
+    #[must_use]
+    pub fn topology(mut self, graph: CouplingGraph) -> Self {
+        self.topology = Some(graph);
+        self
+    }
+
+    /// Selects the cost model driving the router's tie-breaking and the
+    /// reported `weighted_cost` (default [`UniformCost`]; only observable
+    /// with a [`CompileOptions::topology`] set).
+    #[must_use]
+    pub fn cost(mut self, cost: impl CostModel + 'static) -> Self {
+        self.cost = Arc::new(cost);
+        self
+    }
+
     /// The configured verification mode.
     pub fn verify_mode(&self) -> Verify {
         self.verify
@@ -338,6 +393,16 @@ impl CompileOptions {
         self.shape
     }
 
+    /// The coupling graph routing targets, if routing is enabled.
+    pub fn coupling_graph(&self) -> Option<&CouplingGraph> {
+        self.topology.as_ref()
+    }
+
+    /// The configured cost model.
+    pub fn cost_model(&self) -> &Arc<dyn CostModel> {
+        &self.cost
+    }
+
     /// The data-driven pipeline description these options select — the
     /// stage list handed to [`registry`] for assembly.
     pub fn spec(&self) -> PipelineSpec {
@@ -353,6 +418,12 @@ impl CompileOptions {
         if self.cancels() {
             spec = spec.with_stage("cancel-inverse-pairs");
         }
+        if self.topology.is_some() {
+            // Routing runs on the lowered, cancelled circuit (arity ≤ 2)
+            // and before scheduling, so routed-then-scheduled depth is what
+            // the pipeline measures.
+            spec = spec.with_stage("route");
+        }
         if self.schedule {
             spec = spec.with_stage("schedule-depth");
         }
@@ -366,7 +437,17 @@ impl CompileOptions {
     /// hatch for callers that extend the pipeline with custom passes
     /// ([`PassManager::with_pass`]) before running it themselves.
     pub fn build_manager(&self) -> PassManager {
-        let manager = registry()
+        let mut registry = registry();
+        if let Some(graph) = &self.topology {
+            // The registry's factories are configuration-free; the route
+            // stage closes over this option set's graph and cost model.
+            let graph = graph.clone();
+            let cost = self.cost.clone();
+            registry.register("route", move || {
+                Box::new(RoutePass::new(graph.clone(), cost.clone()))
+            });
+        }
+        let manager = registry
             .assemble(&self.spec())
             .expect("every stage the options select is registered");
         let manager = match self.pool.clone().or_else(|| self.threads.pool()) {
@@ -460,12 +541,22 @@ pub struct CompileResult {
     /// Worker count the dense panel engine dispatches over for this
     /// compilation's thread mode — the resolved [`Threads`] width.
     pub panel_threads: usize,
+    /// Wire-SWAP ladders the `"route"` stage inserted — `Some` whenever a
+    /// [`CompileOptions::topology`] was set, `None` otherwise.
+    pub swap_count: Option<usize>,
+    /// Depth of the circuit right after routing (before any scheduling) —
+    /// `Some` whenever a topology was set.
+    pub routed_depth: Option<usize>,
+    /// The configured [`CostModel`]'s cost of the final circuit — `Some`
+    /// whenever a topology was set.
+    pub weighted_cost: Option<f64>,
     /// Whether the compilation was verified (see [`Verify`]).
     pub verification: VerifyOutcome,
 }
 
 impl CompileResult {
-    fn from_report(report: PipelineReport, verify: Verify, panel_threads: usize) -> Self {
+    fn from_report(report: PipelineReport, options: &CompileOptions, panel_threads: usize) -> Self {
+        let verify = options.verify;
         let mut cache: Option<CacheCounters> = None;
         for stats in &report.stats {
             if let Some(tally) = stats.cache {
@@ -487,6 +578,19 @@ impl CompileResult {
             .filter(|stats| matches!(stats.pass.as_str(), "gate-fusion" | "verify(gate-fusion)"))
             .map(|stats| stats.before.gates.saturating_sub(stats.after.gates))
             .sum();
+        let route_stats = report
+            .stats
+            .iter()
+            .find(|stats| matches!(stats.pass.as_str(), "route" | "verify(route)"));
+        // The route stage only ever *adds* gates, all of them in
+        // four-gate SWAP ladders, so the gate delta recovers the count.
+        let swap_count = route_stats
+            .map(|stats| stats.after.gates.saturating_sub(stats.before.gates) / SWAP_LADDER_GATES);
+        let routed_depth = route_stats.map(|stats| stats.after.depth);
+        let weighted_cost = options
+            .topology
+            .is_some()
+            .then(|| options.cost.circuit_cost(&report.circuit));
         CompileResult {
             depth,
             circuit: report.circuit,
@@ -494,6 +598,9 @@ impl CompileResult {
             cache,
             fused_gates,
             panel_threads,
+            swap_count,
+            routed_depth,
+            weighted_cost,
             verification: match verify {
                 Verify::Off => VerifyOutcome::Skipped,
                 verified => VerifyOutcome::Verified(verified),
@@ -680,12 +787,24 @@ impl Compiler {
     /// ([`Verify`]) and shape mismatches
     /// ([`CompileOptions::shape`]).
     pub fn compile(&self, circuit: &Circuit) -> qudit_core::Result<CompileResult> {
-        let report = self.manager.run(circuit.clone())?;
+        let report = self.manager.run(self.embed(circuit)?)?;
         Ok(CompileResult::from_report(
             report,
-            self.options.verify,
+            &self.options,
             self.panel_threads(),
         ))
+    }
+
+    /// Embeds a job in the coupling graph's full site register when routing
+    /// is enabled, so every stage (and its verification wrapper, which
+    /// requires width stability) runs over the physical register.  Narrower
+    /// graphs are left to the route stage's typed
+    /// [`TopologyTooSmall`](qudit_core::QuditError::TopologyTooSmall) error.
+    fn embed(&self, circuit: &Circuit) -> qudit_core::Result<Circuit> {
+        match &self.options.topology {
+            Some(graph) if graph.sites() > circuit.width() => circuit.widened(graph.sites()),
+            _ => Ok(circuit.clone()),
+        }
     }
 
     /// Compiles a text-IR source (see [`qudit_core::qasm`]) through the
@@ -750,15 +869,17 @@ impl Compiler {
     /// Returns the first job error in input order (later jobs still run).
     pub fn compile_batch(&self, circuits: &[Circuit]) -> qudit_core::Result<BatchResult> {
         let pool = self.manager.pool().unwrap_or_default();
-        let batch = self.manager.run_batch_refs(circuits, &pool)?;
+        let embedded: Vec<Circuit> = circuits
+            .iter()
+            .map(|circuit| self.embed(circuit))
+            .collect::<qudit_core::Result<_>>()?;
+        let batch = self.manager.run_batch_refs(&embedded, &pool)?;
         let panel_threads = self.panel_threads();
         Ok(BatchResult {
             results: batch
                 .reports
                 .into_iter()
-                .map(|report| {
-                    CompileResult::from_report(report, self.options.verify, panel_threads)
-                })
+                .map(|report| CompileResult::from_report(report, &self.options, panel_threads))
                 .collect(),
         })
     }
@@ -944,5 +1065,121 @@ mod tests {
                 assert!(registry.contains(&stage), "unregistered stage {stage}");
             }
         }
+    }
+
+    #[test]
+    fn topology_knob_inserts_the_route_stage() {
+        let graph = CouplingGraph::linear(5).unwrap();
+        let spec = CompileOptions::new()
+            .opt_level(OptLevel::O2)
+            .topology(graph.clone())
+            .spec();
+        assert_eq!(
+            spec.stages,
+            vec![
+                "gate-fusion",
+                "lower-to-elementary",
+                "lower-to-g-gates",
+                "cancel-inverse-pairs",
+                "route",
+                "schedule-depth"
+            ]
+        );
+        let compiler = CompileOptions::new().topology(graph).compiler();
+        assert!(compiler.pass_names().contains(&"route"));
+        // Off by default: no stage, no columns.
+        assert!(!CompileOptions::new()
+            .spec()
+            .stages
+            .contains(&"route".to_string()));
+    }
+
+    #[test]
+    fn routed_compilations_satisfy_adjacency_and_report_columns() {
+        use qudit_core::route::{validate_adjacency, NoiseAwareCost};
+        let synthesis = KToffoli::new(dim(3), 3).unwrap().synthesize().unwrap();
+        let graph = CouplingGraph::linear(synthesis.layout().width).unwrap();
+        let baseline = CompileOptions::new().compiler();
+        let unrouted = baseline.compile(synthesis.circuit()).unwrap();
+        assert!(validate_adjacency(&unrouted.circuit, &graph).is_err());
+        assert_eq!(unrouted.swap_count, None);
+        assert_eq!(unrouted.routed_depth, None);
+        assert_eq!(unrouted.weighted_cost, None);
+
+        let compiler = CompileOptions::new()
+            .opt_level(OptLevel::O2)
+            .topology(graph.clone())
+            .cost(NoiseAwareCost::default())
+            .compiler();
+        let routed = compiler.compile(synthesis.circuit()).unwrap();
+        validate_adjacency(&routed.circuit, &graph).unwrap();
+        assert!(routed.swap_count.unwrap() > 0);
+        assert!(routed.routed_depth.unwrap() > 0);
+        assert!(routed.weighted_cost.unwrap() > 0.0);
+        // Scheduling after routing must not break adjacency (it only
+        // permutes commuting gates) and the final depth is the scheduled
+        // one.
+        assert!(routed.depth <= routed.routed_depth.unwrap());
+    }
+
+    #[test]
+    fn routed_compilations_verify_on_every_backend() {
+        let synthesis = KToffoli::new(dim(3), 2).unwrap().synthesize().unwrap();
+        let graph = CouplingGraph::ring(3).unwrap();
+        for backend in [
+            SimBackend::Auto,
+            SimBackend::Dense,
+            SimBackend::Sparse,
+            SimBackend::Stabilizer,
+        ] {
+            let compiler = CompileOptions::new()
+                .topology(graph.clone())
+                .verify(Verify::Exhaustive)
+                .backend(backend)
+                .compiler();
+            let result = compiler.compile(synthesis.circuit()).unwrap();
+            assert!(result.verification.is_verified(), "backend {backend}");
+            assert!(result.stats_for("route").is_some());
+        }
+    }
+
+    #[test]
+    fn routed_batches_match_sequential_compiles() {
+        let jobs: Vec<Circuit> = [2usize, 3]
+            .iter()
+            .map(|&k| {
+                KToffoli::new(dim(3), k)
+                    .unwrap()
+                    .synthesize()
+                    .unwrap()
+                    .circuit()
+                    .clone()
+            })
+            .collect();
+        // A graph wide enough for the widest job; narrower jobs are
+        // embedded into the full site register.
+        let sites = jobs.iter().map(Circuit::width).max().unwrap();
+        let graph = CouplingGraph::grid(2, sites.div_ceil(2)).unwrap();
+        let compiler = CompileOptions::new()
+            .topology(graph)
+            .threads(Threads::Fixed(2))
+            .compiler();
+        let batch = compiler.compile_batch(&jobs).unwrap();
+        for (job, result) in jobs.iter().zip(&batch.results) {
+            let solo = compiler.compile(job).unwrap();
+            assert_eq!(solo.circuit, result.circuit);
+            assert_eq!(solo.swap_count, result.swap_count);
+        }
+    }
+
+    #[test]
+    fn undersized_topology_is_a_typed_error() {
+        let synthesis = KToffoli::new(dim(3), 3).unwrap().synthesize().unwrap();
+        let graph = CouplingGraph::linear(2).unwrap();
+        let compiler = CompileOptions::new().topology(graph).compiler();
+        assert!(matches!(
+            compiler.compile(synthesis.circuit()),
+            Err(qudit_core::QuditError::TopologyTooSmall { .. })
+        ));
     }
 }

@@ -63,7 +63,7 @@ fn build_gate(
             _ => Control::nonzero(q),
         });
     }
-    match op_kind % 5 {
+    match op_kind % 6 {
         0 => Gate::controlled(
             SingleQuditOp::Swap(level_seed % d, (level_seed + 1 + level_seed % (d - 1)) % d),
             target,
@@ -96,11 +96,23 @@ fn build_gate(
                 None => Gate::controlled(SingleQuditOp::Add(1), target, controls),
             }
         }
-        _ => Gate::controlled(
+        4 => Gate::controlled(
             SingleQuditOp::Swap(0, 1 + level_seed % (d - 1)),
             target,
             controls,
         ),
+        _ => {
+            // A diagonal (non-permutation) unitary: seeded phases on the
+            // levels, exercising the diagonal-vs-diagonal oracle rule.
+            let mut matrix = SquareMatrix::identity(d as usize);
+            for l in 0..d as usize {
+                let angle = std::f64::consts::TAU
+                    * ((level_seed as usize + l * (1 + level_seed as usize % 3)) % 8) as f64
+                    / 8.0;
+                matrix[(l, l)] = Complex::new(angle.cos(), angle.sin());
+            }
+            Gate::controlled(SingleQuditOp::Unitary(matrix), target, controls)
+        }
     }
 }
 
@@ -115,8 +127,8 @@ proptest! {
     fn oracle_never_claims_a_refutable_commutation(
         d in 3u32..=4,
         width in 2usize..=3,
-        a_op in 0u8..5, a_target in 0usize..3, a_controls in 0u32..12, a_levels in 0u32..12,
-        b_op in 0u8..5, b_target in 0usize..3, b_controls in 0u32..12, b_levels in 0u32..12,
+        a_op in 0u8..6, a_target in 0usize..3, a_controls in 0u32..12, a_levels in 0u32..12,
+        b_op in 0u8..6, b_target in 0usize..3, b_controls in 0u32..12, b_levels in 0u32..12,
     ) {
         let dimension = Dimension::new(d).unwrap();
         let a = build_gate(dimension, width, a_op, a_target, a_controls, a_levels);
@@ -143,8 +155,8 @@ proptest! {
     #[test]
     fn oracle_claims_disjoint_pairs(
         d in 3u32..=5,
-        a_op in 0u8..5, a_levels in 0u32..12,
-        b_op in 0u8..5, b_levels in 0u32..12,
+        a_op in 0u8..6, a_levels in 0u32..12,
+        b_op in 0u8..6, b_levels in 0u32..12,
     ) {
         let dimension = Dimension::new(d).unwrap();
         // Gate A confined to wires {0, 1}, gate B to wires {2, 3}.
@@ -165,8 +177,8 @@ fn overlapping_claims_exist_and_are_all_sound() {
     for d in [3u32, 4] {
         let dimension = Dimension::new(d).unwrap();
         let width = 3;
-        for a_op in 0..5u8 {
-            for b_op in 0..5u8 {
+        for a_op in 0..6u8 {
+            for b_op in 0..6u8 {
                 for seed in 0..12u32 {
                     let a = build_gate(dimension, width, a_op, seed as usize, seed, seed);
                     let b = build_gate(

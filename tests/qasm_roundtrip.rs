@@ -154,6 +154,32 @@ proptest! {
     }
 }
 
+/// `parse(print(parse(s)))` keeps a user-chosen register name: the printer
+/// no longer canonicalises every register to `q`.
+#[test]
+fn register_names_survive_print_parse_round_trips() {
+    let source = "OPENQASM 3.0;\n\
+                  qudit[3] anc[2];\n\
+                  ctrl @ shift(1) anc[0], anc[1];\n";
+    let parsed = parse_source(source).unwrap();
+    assert_eq!(parsed.register_name(), Some("anc"));
+    let printed = print_circuit(&parsed);
+    assert!(printed.contains("qudit[3] anc[2];"), "printed:\n{printed}");
+    assert!(printed.contains("anc[0], anc[1]"), "printed:\n{printed}");
+    let reparsed = parse_source(&printed).unwrap();
+    assert_eq!(reparsed.register_name(), Some("anc"));
+    assert_eq!(reparsed, parsed);
+    // Programmatic circuits still print as the canonical register `q`.
+    let mut anonymous = Circuit::new(dim(3), 1);
+    anonymous
+        .push(qudit_core::Gate::single(
+            qudit_core::SingleQuditOp::Add(1),
+            qudit_core::QuditId::new(0),
+        ))
+        .unwrap();
+    assert!(print_circuit(&anonymous).contains("qudit[3] q[1];"));
+}
+
 /// A deterministic smoke of the whole loop at fixed seeds, so a plain
 /// `cargo test qasm` exercises the property even if the proptest shim's
 /// case count is trimmed via environment.
